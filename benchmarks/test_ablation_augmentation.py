@@ -1,0 +1,82 @@
+"""Ablation: training-data augmentation (Section 3 / 4.4 design choice).
+
+Without AREPAS augmentation, historical data contains exactly one
+(token count, run time) pair per job, so a point model cannot learn how
+run time responds to tokens. We train XGBoost PL with and without the
+augmented observations and compare trend quality against the AREPAS-swept
+targets on the next-day test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import XGBoostPL, evaluate_model
+from repro.models.dataset import PCCDataset, PCCExample
+
+
+def _strip_augmentation(dataset: PCCDataset) -> PCCDataset:
+    """Keep only the actually observed sample of each job."""
+    stripped = PCCDataset()
+    for example in dataset:
+        observed = tuple(
+            o for o in example.point_observations if o.source == "observed"
+        )
+        stripped.examples.append(
+            PCCExample(
+                job_id=example.job_id,
+                observed_tokens=example.observed_tokens,
+                observed_runtime=example.observed_runtime,
+                target_pcc=example.target_pcc,
+                job_features=example.job_features,
+                graph=example.graph,
+                point_observations=observed,
+            )
+        )
+    return stripped
+
+
+def test_ablation_arepas_augmentation(
+    benchmark, train_dataset, test_dataset, report
+):
+    def train_both():
+        augmented = XGBoostPL(seed=0).fit(train_dataset)
+        unaugmented = XGBoostPL(seed=0).fit(_strip_augmentation(train_dataset))
+        return augmented, unaugmented
+
+    augmented, unaugmented = benchmark.pedantic(
+        train_both, rounds=1, iterations=1
+    )
+
+    with_aug = evaluate_model(augmented, test_dataset)
+    without_aug = evaluate_model(unaugmented, test_dataset)
+
+    # Without augmentation the booster never saw two token counts for one
+    # job; its fitted PCC exponents carry ~no signal, so the augmented
+    # model must match its targets better.
+    assert with_aug.curve_param_mae < without_aug.curve_param_mae
+
+    # Point prediction at the reference stays comparable (one sample per
+    # job is enough for that), showing the gain is specifically in trends.
+    assert (
+        with_aug.runtime_median_ape
+        <= without_aug.runtime_median_ape + 10.0
+    )
+
+    lines = [
+        f"{'variant':<22} {'pattern':>8} {'MAE(prm)':>9} {'MedAE(rt)':>10}",
+        "-" * 52,
+        f"{'with AREPAS aug':<22} "
+        f"{with_aug.pattern_non_increasing:>7.0%} "
+        f"{with_aug.curve_param_mae:>9.3f} "
+        f"{with_aug.runtime_median_ape:>9.0f}%",
+        f"{'without augmentation':<22} "
+        f"{without_aug.pattern_non_increasing:>7.0%} "
+        f"{without_aug.curve_param_mae:>9.3f} "
+        f"{without_aug.runtime_median_ape:>9.0f}%",
+        "",
+        "paper (Section 3, qualitative): one observation per job cannot",
+        "teach the run-time-vs-tokens relationship; AREPAS augmentation is",
+        "what makes trend learning possible at all.",
+    ]
+    report.add("Ablation augmentation", "\n".join(lines))

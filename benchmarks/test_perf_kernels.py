@@ -1,0 +1,103 @@
+"""Performance micro-benchmarks of the core computational kernels.
+
+Unlike the reproduction benchmarks (which regenerate paper tables), these
+measure raw throughput of the hot paths with repeated timed rounds —
+useful for catching performance regressions:
+
+* AREPAS skyline simulation,
+* the discrete-event cluster executor,
+* featurization (job vectors + graph samples),
+* one boosting round and one NN training epoch,
+* GNN forward pass over a padded batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arepas import AREPAS
+from repro.features import job_vector, plan_to_graph_sample
+from repro.ml.gbm import BoosterParams, GradientBoostingRegressor
+from repro.ml.gnn import pad_graph_batch
+from repro.models import NNPCCModel, TrainConfig
+from repro.scope import ClusterExecutor, decompose_stages
+from repro.skyline import Skyline
+
+
+@pytest.fixture(scope="module")
+def big_skyline(rng):
+    """An hour-long ragged skyline (3600 seconds, peak ~200)."""
+    base = 60 + 50 * np.sin(np.linspace(0, 40, 3600))
+    noise = rng.gamma(2.0, 20.0, 3600)
+    return Skyline(np.clip(base + noise, 0, None))
+
+
+def test_perf_arepas_simulate(benchmark, big_skyline):
+    simulator = AREPAS()
+    result = benchmark(simulator.simulate, big_skyline, 80.0)
+    assert result.skyline.area == pytest.approx(big_skyline.area)
+
+
+def test_perf_cluster_executor(benchmark, train_repo):
+    record = max(train_repo.records(), key=lambda r: r.plan.num_operators)
+    graph = decompose_stages(record.plan)
+    executor = ClusterExecutor()
+    result = benchmark(executor.execute, graph, 64)
+    assert result.runtime > 0
+
+
+def test_perf_job_featurization(benchmark, train_repo):
+    plans = [r.plan for r in train_repo.records()[:50]]
+
+    def featurize():
+        return [job_vector(plan) for plan in plans]
+
+    vectors = benchmark(featurize)
+    assert len(vectors) == 50
+
+
+def test_perf_graph_featurization(benchmark, train_repo):
+    plans = [r.plan for r in train_repo.records()[:50]]
+
+    def featurize():
+        return [plan_to_graph_sample(plan) for plan in plans]
+
+    samples = benchmark(featurize)
+    assert len(samples) == 50
+
+
+def test_perf_gbm_fit(benchmark, rng):
+    features = rng.uniform(0, 10, size=(2000, 52))
+    targets = np.exp(rng.normal(4, 1, 2000))
+    params = BoosterParams(n_estimators=10, max_depth=6)
+
+    def fit():
+        return GradientBoostingRegressor(params, seed=0).fit(
+            features, targets
+        )
+
+    model = benchmark(fit)
+    assert model.num_trees == 10
+
+
+def test_perf_nn_epoch(benchmark, train_dataset):
+    def one_epoch():
+        return NNPCCModel(
+            train_config=TrainConfig(epochs=1), seed=0
+        ).fit(train_dataset)
+
+    model = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    assert model.num_parameters() > 0
+
+
+def test_perf_gnn_forward(benchmark, train_dataset):
+    from repro.ml.gnn import GNNEncoder
+
+    samples = train_dataset.graph_samples()[:64]
+    batch = pad_graph_batch(samples)
+    encoder = GNNEncoder(
+        batch.node_features.shape[2], (80, 80), np.random.default_rng(0)
+    )
+    out = benchmark(encoder.encode, batch)
+    assert out.shape == (len(samples), 80)

@@ -1,0 +1,47 @@
+"""Section 5.4: workload-level token savings versus slowdown (W1/W2).
+
+Paper numbers: W1 saves 23% of tokens for an 18% slowdown; W2 saves 20%
+for an 8% slowdown; the GNN predicts 8% and 5% slowdowns respectively —
+under- but usefully estimating the actual impact. The claims we check:
+
+* both workloads save tokens and pay a slowdown (a real trade-off),
+* W1 (which includes the deep 20% cuts) pays a larger slowdown than W2,
+* the model-predicted slowdown has the right sign and orders W1 > W2.
+"""
+
+from __future__ import annotations
+
+from repro.flighting import workload_savings
+
+
+def test_sec54_w1_w2_tradeoff(benchmark, flighted, gnn_by_loss, report):
+    gnn = gnn_by_loss["LF2"]
+
+    w1, w2 = benchmark.pedantic(
+        workload_savings, args=(flighted, gnn), rounds=1, iterations=1
+    )
+
+    # A real trade-off on both workloads.
+    assert 0.05 < w1.token_savings < 0.8
+    assert 0.0 < w2.token_savings < 0.8
+    assert w1.slowdown > 0
+    # W1 includes the 20%-token runs, so it slows down more than W2.
+    assert w1.slowdown > w2.slowdown
+    # The model's predictions are positive and correctly ordered.
+    assert w1.predicted_slowdown > 0
+    assert w1.predicted_slowdown > w2.predicted_slowdown
+
+    lines = [
+        f"{'workload':<9} {'token savings':>13} {'slowdown':>9} "
+        f"{'predicted (GNN)':>16}",
+        "-" * 52,
+    ]
+    for w in (w1, w2):
+        lines.append(
+            f"{w.name:<9} {w.token_savings:>12.0%} {w.slowdown:>8.0%} "
+            f"{w.predicted_slowdown:>15.0%}"
+        )
+    lines.append("")
+    lines.append("paper: W1 23% savings / 18% slowdown (predicted 8%);")
+    lines.append("       W2 20% savings /  8% slowdown (predicted 5%)")
+    report.add("Section 5.4 workload savings", "\n".join(lines))

@@ -1,0 +1,80 @@
+"""Table 8: model accuracy against flighted (re-executed) ground truth.
+
+Paper numbers (LF2 models, 31 jobs / 97 runs / 67 unique token counts):
+XGBoost SS 32% pattern & 53% Median AE; XGBoost PL 93% & 52%;
+NN 100% / 0.163 / 39%; GNN 100% / 0.168 / 33%. The key claims:
+
+* every model's error grows versus the AREPAS-proxy evaluation
+  (flighted truth is harsher),
+* XGBoost degrades the most (the simulator taught it points near the
+  reference only), NN/GNN hold up better,
+* NN/GNN remain 100% monotonically non-increasing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flighting import evaluate_on_flighted
+from repro.models import evaluate_model, evaluation_table
+
+PAPER_ROWS = [
+    ("XGBoost SS", 0.32, None, 53),
+    ("XGBoost PL", 0.93, 0.202, 52),
+    ("NN", 1.00, 0.163, 39),
+    ("GNN", 1.00, 0.168, 33),
+]
+
+
+@pytest.fixture(scope="module")
+def lf2_models(xgb_ss, xgb_pl, nn_by_loss, gnn_by_loss):
+    return [xgb_ss, xgb_pl, nn_by_loss["LF2"], gnn_by_loss["LF2"]]
+
+
+def test_table8_flighted_accuracy(
+    benchmark, lf2_models, flighted, test_dataset, report
+):
+    def evaluate_all():
+        return [evaluate_on_flighted(m, flighted) for m in lf2_models]
+
+    rows = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    by_model = {row.model: row for row in rows}
+
+    # NN/GNN keep the guaranteed pattern on flighted data too.
+    assert by_model["NN"].pattern_non_increasing == 1.0
+    assert by_model["GNN"].pattern_non_increasing == 1.0
+
+    # Errors grow versus the proxy (historical) evaluation for XGBoost —
+    # the paper's 13% -> 53% degradation, reproduced directionally.
+    proxy = {
+        m.name: evaluate_model(m, test_dataset).runtime_median_ape
+        for m in lf2_models[:1]
+    }
+    assert (
+        by_model["XGBoost SS"].runtime_median_ape
+        > proxy["XGBoost SS"]
+    )
+
+    # Trend models stay competitive with (or beat) XGBoost at multi-token
+    # point prediction — the paper's central Table 8 result.
+    best_trend = min(
+        by_model["NN"].runtime_median_ape,
+        by_model["GNN"].runtime_median_ape,
+    )
+    assert best_trend <= by_model["XGBoost SS"].runtime_median_ape + 10.0
+
+    lines = [
+        f"flighted set: {len(flighted)} jobs, {flighted.num_flights} runs, "
+        f"{flighted.num_unique_token_counts} unique (job, token) levels",
+        "",
+        evaluation_table(rows),
+        "",
+        "paper:",
+    ]
+    for model, pattern, mae, median_ae in PAPER_ROWS:
+        mae_text = "NA" if mae is None else f"{mae:.3f}"
+        lines.append(
+            f"  {model:<12} {pattern * 100:5.0f}% {mae_text:>8} "
+            f"{median_ae:>7}%"
+        )
+    report.add("Table 8 flighted accuracy", "\n".join(lines))

@@ -1,0 +1,84 @@
+"""Flighting study: validate AREPAS against re-executed jobs.
+
+The Section 5.1-5.2 methodology end to end:
+
+1. select a representative job subset with stratified under-sampling,
+2. re-execute ("flight") each job at 100/80/60/20% of its tokens, three
+   replicas each, with the anomaly filters applied,
+3. check the area-preservation assumption across executions (Figure 12),
+4. measure AREPAS's run-time estimation error (Table 3 / Figure 13).
+
+Run:
+    python examples/flighting_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import WorkloadGenerator, run_workload
+from repro.arepas import error_summary, match_fraction_curve, simulation_errors
+from repro.flighting import FlightHarness, build_flighted_dataset
+from repro.selection import select_flighting_jobs
+
+
+def main() -> None:
+    generator = WorkloadGenerator(seed=33)
+    jobs = generator.generate(250)
+    print(f"Executing {len(jobs)} jobs to build the population ...")
+    repository = run_workload(jobs, seed=2)
+    records = repository.records()
+
+    # --- 1. representative subset selection ----------------------------
+    pool = [r for r in records if 10 <= r.requested_tokens <= 600]
+    selection = select_flighting_jobs(
+        records, pool, sample_size=40, n_clusters=6, seed=0
+    )
+    selected = [pool[i] for i in selection.selected_indices]
+    print(
+        f"Selected {len(selected)} of {len(pool)} pool jobs "
+        f"(KS statistic {selection.ks_before:.3f} -> {selection.ks_after:.3f})"
+    )
+
+    # --- 2. flight them -------------------------------------------------
+    print("Flighting at 100/80/60/20% tokens x 3 replicas ...")
+    harness = FlightHarness(seed=9)
+    flighted = build_flighted_dataset(selected, harness)
+    print(
+        f"  {len(flighted)} jobs survived the filters "
+        f"({flighted.num_flights} flights; dropped: "
+        f"{flighted.num_dropped_errant} errant, "
+        f"{flighted.num_dropped_non_monotonic} non-monotonic, "
+        f"{flighted.num_dropped_isolated} isolated)"
+    )
+
+    # --- 3. area conservation (Figure 12) -------------------------------
+    tolerances = np.array([10.0, 30.0, 80.0])
+    curve = match_fraction_curve(flighted.per_job_skylines(), tolerances)
+    print("\nArea-conservation check (Figure 12):")
+    for tolerance, fraction in zip(tolerances, curve):
+        print(f"  within {tolerance:3.0f}% tolerance: {fraction:5.0%} of "
+              "execution pairs match")
+
+    # --- 4. AREPAS accuracy (Table 3 / Figure 13) -----------------------
+    errors = simulation_errors(flighted.arepas_inputs())
+    summary = error_summary(errors)
+    matched = flighted.fully_matched(tolerance=30.0)
+    matched_summary = error_summary(simulation_errors(matched.arepas_inputs()))
+    print("\nAREPAS run-time estimation error (Table 3):")
+    print(f"{'job group':<24} {'N jobs':>7} {'MedianAPE':>10} {'MeanAPE':>9}")
+    print(
+        f"{'non-anomalous':<24} {summary['jobs']:>7.0f} "
+        f"{summary['median_ape']:>9.1f}% {summary['mean_ape']:>8.1f}%"
+    )
+    print(
+        f"{'fully-matched':<24} {matched_summary['jobs']:>7.0f} "
+        f"{matched_summary['median_ape']:>9.1f}% "
+        f"{matched_summary['mean_ape']:>8.1f}%"
+    )
+    print(f"\nWorst per-job median error: {summary['worst']:.0f}% "
+          "(paper: under 50%)")
+
+
+if __name__ == "__main__":
+    main()

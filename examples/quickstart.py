@@ -1,0 +1,71 @@
+"""Quickstart: the full TASQ loop in ~60 lines.
+
+Generates a synthetic SCOPE-like workload, builds the historical telemetry
+repository, trains the PCC prediction models, and scores an unseen job —
+printing its predicted performance characteristic curve and the
+recommended token allocation.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ScoringPipeline,
+    TrainingPipeline,
+    WorkloadGenerator,
+    run_workload,
+)
+from repro.models import TrainConfig
+from repro.tasq import TasqConfig
+
+
+def main() -> None:
+    # 1. A day of "production" history: generate jobs and execute them at
+    #    the tokens their users requested.
+    generator = WorkloadGenerator(seed=7)
+    history = generator.generate(250)
+    print(f"Executing {len(history)} historical jobs ...")
+    repository = run_workload(history, seed=0)
+    stats = repository.runtime_statistics()
+    print(
+        f"  run time median {stats['runtime_median']:.0f}s "
+        f"(max {stats['runtime_max']:.0f}s), "
+        f"peak tokens median {stats['peak_tokens_median']:.0f}"
+    )
+
+    # 2. Train TASQ: AREPAS augmentation -> featurization -> models.
+    print("Training TASQ models (XGBoost + NN) ...")
+    config = TasqConfig(train_gnn=False, nn_train_config=TrainConfig(epochs=60))
+    trained = TrainingPipeline(config).run(repository)
+
+    # 3. Score an unseen job at compile time.
+    tomorrow = generator.generate(5, start_day=1)
+    scorer = ScoringPipeline(
+        trained.get("nn"), improvement_threshold=0.005, max_slowdown=0.05
+    )
+    print("\nRecommendations for unseen jobs (5% slowdown budget):")
+    header = f"{'job':<18} {'requested':>9} {'optimal':>8} {'savings':>8} {'slowdown':>9}"
+    print(header)
+    print("-" * len(header))
+    for job in tomorrow:
+        rec = scorer.score(job.plan, job.requested_tokens)
+        print(
+            f"{rec.job_id:<18} {rec.requested_tokens:>9} "
+            f"{rec.optimal_tokens:>8} {rec.token_savings:>7.0%} "
+            f"{rec.predicted_slowdown:>8.1%}"
+        )
+
+    # 4. Inspect one predicted PCC over a token range.
+    rec = scorer.score(tomorrow[0].plan, tomorrow[0].requested_tokens)
+    print(f"\nPredicted PCC for {rec.job_id}: "
+          f"runtime = {rec.pcc.b:.1f} * tokens^{rec.pcc.a:.3f}")
+    for tokens in np.geomspace(5, rec.requested_tokens, 6):
+        print(f"  {tokens:7.1f} tokens -> {rec.pcc.runtime(tokens):8.1f} s")
+
+
+if __name__ == "__main__":
+    main()

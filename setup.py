@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` (legacy editable installs) on machines
+where PEP 517 builds fail for lack of ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Platform adaptations of the TASQ methodology (Section 2.3)."""
+
+from repro.adapters.spark import (
+    ExecutorConfig,
+    ExecutorRecommendation,
+    SparkScoringAdapter,
+    to_executor_repository,
+)
+
+__all__ = [
+    "ExecutorConfig",
+    "to_executor_repository",
+    "ExecutorRecommendation",
+    "SparkScoringAdapter",
+]

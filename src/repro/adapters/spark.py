@@ -1,0 +1,159 @@
+"""Spark SQL adaptation: executors instead of tokens (Section 2.3).
+
+The paper's companion work (AutoExecutor, cited as [36]) applies the TASQ
+methodology to Spark SQL, where the resource unit is the *executor* — a
+coarse container bundling several cores — rather than SCOPE's fine-grained
+token. Section 2.3 separates what is general (the PCC concept, simulation
+for augmentation, learned parameter prediction) from what is
+platform-specific (the resource unit, its granularity, the candidate
+allocation set).
+
+This module is that platform-specific layer:
+
+* :class:`ExecutorConfig` — how many token-equivalents one executor
+  carries and which executor counts the cluster manager will actually
+  grant (Spark deployments typically allow a small discrete menu),
+* :func:`to_executor_repository` — re-expresses token telemetry in
+  executor units so the *unchanged* TASQ pipeline trains on it,
+* :class:`SparkScoringAdapter` — wraps a fitted scoring pipeline and
+  snaps its recommendation to the platform's allowed executor counts,
+  reporting cost in executor-hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import PipelineError
+from repro.pcc.curve import PowerLawPCC
+from repro.scope.plan import QueryPlan
+from repro.scope.repository import JobRepository, TelemetryRecord
+from repro.skyline.skyline import Skyline
+from repro.tasq.pipeline import ScoringPipeline
+
+__all__ = [
+    "ExecutorConfig",
+    "to_executor_repository",
+    "ExecutorRecommendation",
+    "SparkScoringAdapter",
+]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Platform constants of the Spark-like deployment."""
+
+    #: Token-equivalents (cores) bundled into one executor.
+    tokens_per_executor: int = 4
+    #: Executor counts the cluster manager will grant, ascending.
+    allowed_executor_counts: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+
+    def __post_init__(self) -> None:
+        if self.tokens_per_executor < 1:
+            raise PipelineError("tokens_per_executor must be positive")
+        counts = self.allowed_executor_counts
+        if not counts or any(c < 1 for c in counts):
+            raise PipelineError("allowed executor counts must be positive")
+        if list(counts) != sorted(set(counts)):
+            raise PipelineError(
+                "allowed executor counts must be strictly ascending"
+            )
+
+    def executors_for_tokens(self, tokens: float) -> int:
+        """Smallest executor count covering a token amount."""
+        return max(1, int(np.ceil(tokens / self.tokens_per_executor)))
+
+
+def to_executor_repository(
+    repository: JobRepository, config: ExecutorConfig | None = None
+) -> JobRepository:
+    """Re-express token telemetry in executor units.
+
+    Skyline usage is divided by ``tokens_per_executor`` (an executor
+    half-busy in token terms is half an executor of usage) and the
+    requested allocation becomes the covering executor count. The
+    resulting repository feeds the standard TASQ pipeline unchanged —
+    the §2.3 point that only the unit, not the method, is
+    platform-specific.
+    """
+    config = config or ExecutorConfig()
+    converted = JobRepository()
+    for record in repository:
+        executors = config.executors_for_tokens(record.requested_tokens)
+        converted.add(
+            TelemetryRecord(
+                job_id=record.job_id,
+                plan=record.plan,
+                requested_tokens=executors,
+                skyline=Skyline(
+                    record.skyline.usage / config.tokens_per_executor
+                ),
+                submit_day=record.submit_day,
+                recurring=record.recurring,
+            )
+        )
+    return converted
+
+
+@dataclass(frozen=True)
+class ExecutorRecommendation:
+    """A Spark-flavoured recommendation for one query."""
+
+    job_id: str
+    pcc: PowerLawPCC
+    requested_executors: int
+    recommended_executors: int
+    predicted_runtime: float
+    executor_hours: float
+
+    @property
+    def executor_savings(self) -> float:
+        return 1.0 - self.recommended_executors / self.requested_executors
+
+
+@dataclass
+class SparkScoringAdapter:
+    """Snap TASQ recommendations onto the allowed executor menu.
+
+    Wraps a :class:`~repro.tasq.pipeline.ScoringPipeline` whose model was
+    trained on an executor-unit repository (see
+    :func:`to_executor_repository`). The continuous optimal allocation is
+    rounded *up* to the next allowed executor count (rounding down would
+    violate the SLO the pipeline already enforced).
+    """
+
+    scorer: ScoringPipeline
+    config: ExecutorConfig = field(default_factory=ExecutorConfig)
+
+    def recommend(
+        self, plan: QueryPlan, requested_executors: int
+    ) -> ExecutorRecommendation:
+        if requested_executors < 1:
+            raise PipelineError("requested executor count must be positive")
+        recommendation = self.scorer.score(plan, requested_executors)
+        snapped = self._snap(recommendation.optimal_tokens,
+                             requested_executors)
+        runtime = float(recommendation.pcc.runtime(snapped))
+        return ExecutorRecommendation(
+            job_id=plan.job_id,
+            pcc=recommendation.pcc,
+            requested_executors=requested_executors,
+            recommended_executors=snapped,
+            predicted_runtime=runtime,
+            executor_hours=snapped * runtime / 3600.0,
+        )
+
+    def _snap(self, optimal: int, requested: int) -> int:
+        """Next allowed count at or above the optimum, capped at request."""
+        menu = [c for c in self.config.allowed_executor_counts
+                if c <= requested]
+        if not menu:
+            # Even the smallest menu entry exceeds the request: grant the
+            # request itself (the manager always honours explicit asks).
+            return requested
+        for count in menu:
+            if count >= optimal:
+                return count
+        return menu[-1]

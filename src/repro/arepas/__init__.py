@@ -1,0 +1,39 @@
+"""AREPAS: area-preserving skyline simulation and data augmentation."""
+
+from repro.arepas.augmentation import (
+    AugmentedObservation,
+    augment_point_observations,
+    default_token_grid,
+    sweep_token_grid,
+)
+from repro.arepas.simulator import (
+    AREPAS,
+    SimulationResult,
+    simulate_runtime,
+    simulate_skyline,
+)
+from repro.arepas.validation import (
+    JobSimulationError,
+    area_pair_differences,
+    count_outlier_executions,
+    error_summary,
+    match_fraction_curve,
+    simulation_errors,
+)
+
+__all__ = [
+    "AREPAS",
+    "SimulationResult",
+    "simulate_skyline",
+    "simulate_runtime",
+    "AugmentedObservation",
+    "augment_point_observations",
+    "default_token_grid",
+    "sweep_token_grid",
+    "area_pair_differences",
+    "match_fraction_curve",
+    "count_outlier_executions",
+    "JobSimulationError",
+    "simulation_errors",
+    "error_summary",
+]

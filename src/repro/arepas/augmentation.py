@@ -1,0 +1,161 @@
+"""Training-data augmentation with AREPAS (Sections 3 and 4.4).
+
+Historical telemetry records each job at a single token count. To learn the
+run-time-versus-tokens relationship, TASQ synthesises additional
+observations with AREPAS:
+
+* For the NN/GNN trend models, a *sweep* of simulated run times over a
+  token grid is produced and a power-law PCC is fitted to it (the fitted
+  parameters become the training targets).
+* For the XGBoost point model, discrete extra observations are generated at
+  80% and 60% of the observed token count and — for over-allocated jobs —
+  at 120% and 140% of the *peak* usage with the run time floored at the
+  peak-allocation run time (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arepas.simulator import AREPAS
+from repro.exceptions import SimulationError
+from repro.skyline.skyline import Skyline
+
+__all__ = [
+    "AugmentedObservation",
+    "augment_point_observations",
+    "sweep_token_grid",
+    "default_token_grid",
+]
+
+
+@dataclass(frozen=True)
+class AugmentedObservation:
+    """One (token count, run time) sample attached to a job.
+
+    ``source`` distinguishes the actually observed sample (``"observed"``)
+    from AREPAS-synthesised ones (``"simulated"``); the loss functions in
+    Section 4.5 treat observed samples as first-class ground truth.
+    """
+
+    tokens: float
+    runtime: float
+    source: str = "simulated"
+
+    def __post_init__(self) -> None:
+        if self.tokens <= 0:
+            raise SimulationError("augmented token count must be positive")
+        if self.runtime <= 0:
+            raise SimulationError("augmented run time must be positive")
+
+
+def augment_point_observations(
+    skyline: Skyline,
+    observed_tokens: float,
+    under_fractions: tuple[float, ...] = (0.8, 0.6),
+    over_fractions: tuple[float, ...] = (1.2, 1.4),
+    simulator: AREPAS | None = None,
+) -> list[AugmentedObservation]:
+    """Generate the discrete XGBoost augmentation of Section 4.4.
+
+    Parameters
+    ----------
+    skyline:
+        The job's observed skyline at ``observed_tokens``.
+    observed_tokens:
+        The allocation the job actually ran with.
+    under_fractions:
+        Fractions of the observed allocation to simulate below it.
+    over_fractions:
+        Fractions of the *peak* usage to add above it for over-allocated
+        jobs; their run time is floored at the peak-allocation run time
+        (adding tokens beyond the peak cannot speed the job up).
+
+    Returns
+    -------
+    list of :class:`AugmentedObservation`
+        The observed sample first, then the synthetic ones.
+    """
+    if observed_tokens <= 0:
+        raise SimulationError("observed token count must be positive")
+    sim = simulator or AREPAS()
+
+    observations = [
+        AugmentedObservation(
+            tokens=float(observed_tokens),
+            runtime=float(skyline.duration),
+            source="observed",
+        )
+    ]
+
+    for fraction in under_fractions:
+        tokens = max(1.0, fraction * observed_tokens)
+        runtime = sim.runtime(skyline, tokens)
+        observations.append(AugmentedObservation(tokens=tokens, runtime=float(runtime)))
+
+    peak = skyline.peak
+    if observed_tokens > peak and peak > 0:
+        # Over-allocated job: more tokens than the peak cannot help, so the
+        # run time at/beyond the peak is the peak-allocation run time.
+        peak_runtime = float(sim.runtime(skyline, peak))
+        for fraction in over_fractions:
+            observations.append(
+                AugmentedObservation(tokens=fraction * peak, runtime=peak_runtime)
+            )
+    return observations
+
+
+def default_token_grid(
+    reference_tokens: float,
+    num_points: int = 8,
+    low_fraction: float = 0.2,
+    high_fraction: float = 1.0,
+) -> np.ndarray:
+    """A geometric token grid below the reference allocation.
+
+    The PCC is of interest *under* the observed allocation (that is where
+    savings live), so the default grid spans ``low_fraction`` to
+    ``high_fraction`` of the reference geometrically — matching the
+    paper's flighting levels of 20%-100%.
+    """
+    if reference_tokens <= 0:
+        raise SimulationError("reference token count must be positive")
+    if num_points < 2:
+        raise SimulationError("token grid needs at least two points")
+    if not 0 < low_fraction < high_fraction:
+        raise SimulationError("fractions must satisfy 0 < low < high")
+    grid = reference_tokens * np.geomspace(low_fraction, high_fraction, num_points)
+    return np.maximum(1.0, grid)
+
+
+def sweep_token_grid(
+    skyline: Skyline,
+    grid: np.ndarray,
+    observed_tokens: float | None = None,
+    simulator: AREPAS | None = None,
+) -> list[AugmentedObservation]:
+    """Simulate a job's run time at every token count in ``grid``.
+
+    When ``observed_tokens`` lies on the grid (within 0.5 tokens), that
+    point is marked ``"observed"`` and takes the true duration instead of
+    the simulated one.
+    """
+    sim = simulator or AREPAS()
+    observations = []
+    for tokens in np.asarray(grid, dtype=float):
+        if observed_tokens is not None and abs(tokens - observed_tokens) < 0.5:
+            observations.append(
+                AugmentedObservation(
+                    tokens=float(tokens),
+                    runtime=float(skyline.duration),
+                    source="observed",
+                )
+            )
+        else:
+            runtime = sim.runtime(skyline, float(tokens))
+            observations.append(
+                AugmentedObservation(tokens=float(tokens), runtime=float(runtime))
+            )
+    return observations

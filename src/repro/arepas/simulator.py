@@ -1,0 +1,161 @@
+"""AREPAS: the Area Preserving Allocation Simulator (Section 3.2).
+
+Given a job's observed resource-consumption skyline, AREPAS synthesises the
+skyline the same job would have produced under a different (lower) token
+allocation, under the core assumption that the *total work* — the area
+under the skyline in token-seconds — stays constant.
+
+Algorithm 1 from the paper:
+
+1. Split the skyline into maximal contiguous sections that are entirely
+   over or entirely at-or-under the new allocation threshold.
+2. Sections at-or-under the threshold are copied unchanged (Figure 6).
+3. Sections over the threshold are flattened to the threshold and
+   lengthened so their area is preserved (Figure 7), pushing the rest of
+   the skyline later and increasing the run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.skyline.sections import split_sections
+from repro.skyline.skyline import Skyline
+
+__all__ = ["SimulationResult", "AREPAS", "simulate_skyline", "simulate_runtime"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Output of one AREPAS simulation.
+
+    Attributes
+    ----------
+    skyline:
+        The simulated skyline at the new allocation.
+    allocation:
+        The token threshold that was simulated.
+    original_runtime, simulated_runtime:
+        Run times (seconds) before and after the simulation.
+    sections_copied, sections_redistributed:
+        How many sections were copied unchanged versus stretched.
+    """
+
+    skyline: Skyline
+    allocation: float
+    original_runtime: int
+    simulated_runtime: int
+    sections_copied: int
+    sections_redistributed: int
+
+    @property
+    def slowdown(self) -> float:
+        """``new_runtime / old_runtime - 1`` (the paper's slowdown metric)."""
+        return self.simulated_runtime / self.original_runtime - 1.0
+
+
+class AREPAS:
+    """Area-preserving skyline simulator.
+
+    Parameters
+    ----------
+    preserve_area_exactly:
+        When True (default), the last second of a stretched section carries
+        the remainder so the redistributed area matches the original area
+        exactly. When False, the section length is the paper's
+        ``int(area / threshold)`` right-nearest integer approximation,
+        which can drop up to one threshold-second of area per section.
+    """
+
+    def __init__(self, preserve_area_exactly: bool = True) -> None:
+        self.preserve_area_exactly = preserve_area_exactly
+
+    def simulate(self, skyline: Skyline, allocation: float) -> SimulationResult:
+        """Simulate ``skyline`` under a new token ``allocation``.
+
+        Raises
+        ------
+        SimulationError
+            If the allocation is not positive. Allocations at or above the
+            peak return the skyline unchanged (nothing is cut off).
+        """
+        if allocation <= 0:
+            raise SimulationError("simulated allocation must be positive")
+
+        if allocation >= skyline.peak:
+            return SimulationResult(
+                skyline=skyline,
+                allocation=float(allocation),
+                original_runtime=skyline.duration,
+                simulated_runtime=skyline.duration,
+                sections_copied=1,
+                sections_redistributed=0,
+            )
+
+        pieces: list[np.ndarray] = []
+        copied = 0
+        redistributed = 0
+        for section in split_sections(skyline, allocation):
+            if section.over:
+                pieces.append(self._stretch(section.usage, allocation))
+                redistributed += 1
+            else:
+                pieces.append(section.usage)
+                copied += 1
+
+        simulated = Skyline(np.concatenate(pieces))
+        return SimulationResult(
+            skyline=simulated,
+            allocation=float(allocation),
+            original_runtime=skyline.duration,
+            simulated_runtime=simulated.duration,
+            sections_copied=copied,
+            sections_redistributed=redistributed,
+        )
+
+    def runtime(self, skyline: Skyline, allocation: float) -> int:
+        """Simulated run time (seconds) at ``allocation``."""
+        return self.simulate(skyline, allocation).simulated_runtime
+
+    def sweep(
+        self, skyline: Skyline, allocations: np.ndarray | list[float]
+    ) -> list[SimulationResult]:
+        """Simulate the skyline at each allocation in ``allocations``."""
+        return [self.simulate(skyline, float(a)) for a in allocations]
+
+    def _stretch(self, usage: np.ndarray, threshold: float) -> np.ndarray:
+        """Flatten an over-threshold section to ``threshold`` tokens.
+
+        The section's area is spread over ``ceil(area / threshold)`` (or the
+        paper's ``int`` truncation) seconds at the threshold height; with
+        exact preservation the final second carries the remainder.
+        """
+        area = float(usage.sum())
+        if self.preserve_area_exactly:
+            full_seconds = int(area // threshold)
+            remainder = area - full_seconds * threshold
+            stretched = np.full(full_seconds, float(threshold))
+            if remainder > 1e-9:
+                stretched = np.append(stretched, remainder)
+            if stretched.size == 0:
+                # Degenerate: section area below one threshold-second.
+                stretched = np.array([area])
+            return stretched
+        length = max(1, int(area / threshold))
+        return np.full(length, float(threshold))
+
+
+_DEFAULT = AREPAS()
+
+
+def simulate_skyline(skyline: Skyline, allocation: float) -> Skyline:
+    """Module-level convenience: simulated skyline at ``allocation``."""
+    return _DEFAULT.simulate(skyline, allocation).skyline
+
+
+def simulate_runtime(skyline: Skyline, allocation: float) -> int:
+    """Module-level convenience: simulated run time at ``allocation``."""
+    return _DEFAULT.runtime(skyline, allocation)

@@ -1,0 +1,169 @@
+"""Validation of AREPAS against re-executed (flighted) jobs (Section 5.2).
+
+Two questions are answered here, matching Figures 12-13 and Table 3:
+
+1. **Does the area-preservation assumption hold?** For each job flighted at
+   several token counts, compare the skyline areas of every execution pair;
+   a pair *matches* when the percentage difference is within a tolerance.
+   Figure 12 reports the CDF of matches over tolerance and the number of
+   per-job outlier executions.
+
+2. **How accurate are AREPAS run-time estimates?** Simulate each job from
+   its reference execution down to the other flighted allocations and
+   compare against the re-executed run times; Table 3 / Figure 13 report
+   median and mean absolute percentage error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.arepas.simulator import AREPAS
+from repro.exceptions import SimulationError
+from repro.skyline.skyline import Skyline
+
+__all__ = [
+    "area_pair_differences",
+    "match_fraction_curve",
+    "count_outlier_executions",
+    "JobSimulationError",
+    "simulation_errors",
+    "error_summary",
+]
+
+
+def area_pair_differences(skylines: list[Skyline]) -> list[float]:
+    """Pairwise percentage area differences between executions of one job.
+
+    For ``n`` executions this yields ``C(n, 2)`` values; each is
+    ``|area_i - area_j| / min(area_i, area_j)`` expressed in percent, so a
+    value of 30 means one execution used 30% more token-seconds than the
+    other.
+    """
+    if len(skylines) < 2:
+        raise SimulationError("need at least two executions to compare areas")
+    areas = [s.area for s in skylines]
+    if min(areas) <= 0:
+        raise SimulationError("executions must have positive area")
+    return [
+        abs(a - b) / min(a, b) * 100.0 for a, b in combinations(areas, 2)
+    ]
+
+
+def match_fraction_curve(
+    per_job_skylines: list[list[Skyline]], tolerances: np.ndarray
+) -> np.ndarray:
+    """Fraction of execution pairs matching within each tolerance (Fig. 12 top).
+
+    Parameters
+    ----------
+    per_job_skylines:
+        One list of executed skylines per job.
+    tolerances:
+        Percentage tolerances at which to evaluate the CDF.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``fraction_matching[i]`` = share of all execution pairs whose area
+        difference is at most ``tolerances[i]`` percent.
+    """
+    diffs: list[float] = []
+    for skylines in per_job_skylines:
+        if len(skylines) >= 2:
+            diffs.extend(area_pair_differences(skylines))
+    if not diffs:
+        raise SimulationError("no comparable execution pairs")
+    diff_arr = np.asarray(diffs)
+    tolerances = np.asarray(tolerances, dtype=float)
+    return np.array([(diff_arr <= t).mean() for t in tolerances])
+
+
+def count_outlier_executions(skylines: list[Skyline], tolerance: float) -> int:
+    """Number of executions that disagree with the rest of their job.
+
+    An execution is an *outlier* if its area differs by more than
+    ``tolerance`` percent from the median area of the job's executions.
+    Figure 12 (bottom) histograms this count per job for several
+    tolerances.
+    """
+    if tolerance <= 0:
+        raise SimulationError("tolerance must be positive")
+    if len(skylines) < 2:
+        return 0
+    areas = np.array([s.area for s in skylines])
+    median = float(np.median(areas))
+    if median <= 0:
+        raise SimulationError("executions must have positive area")
+    deviations = np.abs(areas - median) / median * 100.0
+    return int(np.count_nonzero(deviations > tolerance))
+
+
+@dataclass(frozen=True)
+class JobSimulationError:
+    """AREPAS accuracy for one job across its flighted allocations."""
+
+    job_id: str
+    percent_errors: tuple[float, ...]
+
+    @property
+    def median_error(self) -> float:
+        """Median absolute percentage error over the job's flights."""
+        return float(np.median(self.percent_errors))
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.percent_errors))
+
+
+def simulation_errors(
+    flights: list[tuple[str, Skyline, float, list[tuple[float, float]]]],
+    simulator: AREPAS | None = None,
+) -> list[JobSimulationError]:
+    """Per-job AREPAS run-time errors against ground-truth re-executions.
+
+    Parameters
+    ----------
+    flights:
+        One entry per job:
+        ``(job_id, reference_skyline, reference_tokens, targets)`` where
+        ``targets`` is a list of ``(tokens, true_runtime)`` pairs from
+        re-executions at other allocations.
+    """
+    sim = simulator or AREPAS()
+    results = []
+    for job_id, reference, reference_tokens, targets in flights:
+        if reference_tokens <= 0:
+            raise SimulationError("reference token count must be positive")
+        errors = []
+        for tokens, true_runtime in targets:
+            if true_runtime <= 0:
+                raise SimulationError("true run time must be positive")
+            predicted = sim.runtime(reference, tokens)
+            errors.append(abs(predicted - true_runtime) / true_runtime * 100.0)
+        if errors:
+            results.append(
+                JobSimulationError(job_id=job_id, percent_errors=tuple(errors))
+            )
+    return results
+
+
+def error_summary(errors: list[JobSimulationError]) -> dict[str, float]:
+    """Aggregate per-job errors into the Table 3 summary statistics.
+
+    ``median_ape`` and ``mean_ape`` aggregate each job's *median* error, as
+    the paper does ("per-job median percent error", Figure 13); ``worst``
+    is the largest per-job median error.
+    """
+    if not errors:
+        raise SimulationError("no simulation errors to summarise")
+    per_job = np.array([e.median_error for e in errors])
+    return {
+        "median_ape": float(np.median(per_job)),
+        "mean_ape": float(np.mean(per_job)),
+        "worst": float(per_job.max()),
+        "jobs": float(len(per_job)),
+    }

@@ -1,0 +1,13 @@
+"""Prior-art baselines: Jockey/Amdahl simulators and AutoToken (§6.2-6.3)."""
+
+from repro.baselines.autotoken import AutoToken, AutoTokenPrediction
+from repro.baselines.simulators import AmdahlSkylineSimulator, StageLevelSimulator
+from repro.baselines.skyline_replay import SkylineReplay
+
+__all__ = [
+    "StageLevelSimulator",
+    "AmdahlSkylineSimulator",
+    "AutoToken",
+    "AutoTokenPrediction",
+    "SkylineReplay",
+]

@@ -1,0 +1,151 @@
+"""AutoToken: the peak-allocation baseline (Sen et al., discussed in §6.2).
+
+AutoToken groups recurring jobs by signature and trains one small model
+per group to predict the job's *peak* token usage from compile-time
+characteristics; allocating the predicted peak avoids over-allocation
+without risking slowdown. Its two limitations motivate TASQ:
+
+1. **Coverage** — it only answers for signatures seen in training
+   (40-60% of SCOPE jobs are new and get no prediction),
+2. **No what-if ability** — it predicts a single peak number, not run
+   time as a function of tokens, so sub-peak trade-offs are invisible.
+
+Our implementation mirrors the published design at the fidelity this
+substrate supports: per-signature regressors of ``log(peak)`` on
+``log(total input cardinality)`` (falling back to the group's historical
+peak quantile when inputs don't vary), with a configurable safety
+quantile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.scope.plan import QueryPlan
+from repro.scope.repository import TelemetryRecord
+from repro.scope.signatures import plan_signature
+
+__all__ = ["AutoTokenPrediction", "AutoToken"]
+
+
+@dataclass(frozen=True)
+class AutoTokenPrediction:
+    """Predicted peak allocation for one job."""
+
+    job_id: str
+    signature: str
+    peak_tokens: int
+
+
+@dataclass
+class _GroupModel:
+    """Per-signature peak model: log-log regression with quantile floor."""
+
+    slope: float
+    intercept: float
+    quantile_peak: float
+
+    def predict(self, input_cardinality: float) -> float:
+        if input_cardinality <= 0:
+            return self.quantile_peak
+        regressed = np.exp(
+            self.intercept + self.slope * np.log(input_cardinality)
+        )
+        # Never go below the historical quantile: a safety floor against
+        # under-allocation (AutoToken optimises for zero slowdown).
+        return max(float(regressed), 0.5 * self.quantile_peak)
+
+
+class AutoToken:
+    """Signature-grouped peak-allocation predictor.
+
+    Parameters
+    ----------
+    min_group_size:
+        Signatures with fewer historical runs than this are not modelled
+        (insufficient evidence — AutoToken's published behaviour).
+    safety_quantile:
+        Quantile of historical peaks used as the regression's floor and
+        the fallback when inputs do not vary within a group.
+    """
+
+    def __init__(
+        self, min_group_size: int = 3, safety_quantile: float = 0.9
+    ) -> None:
+        if min_group_size < 2:
+            raise ModelError("min_group_size must be at least 2")
+        if not 0.5 <= safety_quantile <= 1.0:
+            raise ModelError("safety_quantile must be in [0.5, 1.0]")
+        self.min_group_size = min_group_size
+        self.safety_quantile = safety_quantile
+        self._groups: dict[str, _GroupModel] | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, records: list[TelemetryRecord]) -> "AutoToken":
+        """Group history by signature and fit per-group peak models."""
+        if not records:
+            raise ModelError("AutoToken needs historical records")
+        by_signature: dict[str, list[TelemetryRecord]] = {}
+        for record in records:
+            by_signature.setdefault(
+                plan_signature(record.plan), []
+            ).append(record)
+
+        groups: dict[str, _GroupModel] = {}
+        for signature, group in by_signature.items():
+            if len(group) < self.min_group_size:
+                continue
+            peaks = np.array([max(1.0, r.peak_tokens) for r in group])
+            inputs = np.array(
+                [max(1.0, r.plan.total_input_cardinality) for r in group]
+            )
+            quantile_peak = float(np.quantile(peaks, self.safety_quantile))
+            log_inputs = np.log(inputs)
+            if np.ptp(log_inputs) < 1e-9:
+                slope, intercept = 0.0, float(np.log(quantile_peak))
+            else:
+                slope, intercept = np.polyfit(log_inputs, np.log(peaks), 1)
+            groups[signature] = _GroupModel(
+                slope=float(slope),
+                intercept=float(intercept),
+                quantile_peak=quantile_peak,
+            )
+        self._groups = groups
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        if self._groups is None:
+            raise NotFittedError("AutoToken used before fit")
+        return len(self._groups)
+
+    def covers(self, plan: QueryPlan) -> bool:
+        """True when the job's signature was modelled during training."""
+        if self._groups is None:
+            raise NotFittedError("AutoToken used before fit")
+        return plan_signature(plan) in self._groups
+
+    def predict(self, plan: QueryPlan) -> AutoTokenPrediction | None:
+        """Peak-token prediction, or None for uncovered (ad-hoc) jobs."""
+        if self._groups is None:
+            raise NotFittedError("AutoToken used before fit")
+        signature = plan_signature(plan)
+        group = self._groups.get(signature)
+        if group is None:
+            return None
+        peak = group.predict(plan.total_input_cardinality)
+        return AutoTokenPrediction(
+            job_id=plan.job_id,
+            signature=signature,
+            peak_tokens=max(1, int(np.ceil(peak))),
+        )
+
+    def coverage(self, plans: list[QueryPlan]) -> float:
+        """Fraction of the given jobs AutoToken can answer for."""
+        if not plans:
+            raise ModelError("no plans given")
+        return float(np.mean([self.covers(plan) for plan in plans]))

@@ -1,0 +1,105 @@
+"""Prior-art run-time simulators (Section 6.3): Jockey and Amdahl's law.
+
+The paper positions AREPAS against two earlier SCOPE simulators:
+
+* the **Jockey simulator** (Ferguson et al.), which replays a job *stage
+  by stage* using statistics from prior runs of the same job, and
+* the **Amdahl's-law simulator**, which models each stage's time as
+  ``T = S + P / N`` (serial part plus parallel part divided by tokens),
+  and which the paper notes performs identically to Jockey when used at
+  compile time.
+
+We implement both against our substrate so the paper's comparison can be
+rerun:
+
+* :class:`StageLevelSimulator` — the Jockey/Amdahl analogue. It needs the
+  job's stage graph (the "Algebra" in Jockey's terms), walks stages in
+  dependency order, and charges each stage ``ceil(tasks / N)`` waves of
+  its task duration. Unlike AREPAS it cannot operate on the skyline alone
+  and cannot exploit cross-stage overlap.
+* :class:`AmdahlSkylineSimulator` — a skyline-only Amdahl fit: the serial
+  part is the time the observed run spent effectively unparallelised and
+  the rest is treated as perfectly divisible work. It exists to show why
+  a naive two-parameter model underfits real skylines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.scope.stages import CostModel, StageGraph
+from repro.skyline.skyline import Skyline
+
+__all__ = ["StageLevelSimulator", "AmdahlSkylineSimulator"]
+
+
+class StageLevelSimulator:
+    """Jockey/Amdahl-style stage-level run-time model.
+
+    Each stage with ``n`` tasks of duration ``d`` takes
+    ``ceil(n / tokens) * d`` (wave scheduling, no inter-stage overlap);
+    the job's run time is the longest dependency chain of stage finish
+    times. This is exactly the ``T = S + P/N`` decomposition with
+    ``S = d`` (one wave is irreducible) and ``P = (n - 1) * d``.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or CostModel()
+
+    def runtime(self, graph: StageGraph, tokens: int) -> float:
+        """Predicted run time (seconds) of the job at ``tokens``."""
+        if tokens < 1:
+            raise SimulationError("token allocation must be at least 1")
+        finish: dict[int, float] = {}
+        for sid in graph.topological_order():
+            stage = graph.stages[sid]
+            duration = stage.task_duration(self.cost_model)
+            waves = int(np.ceil(stage.num_tasks / tokens))
+            start = max((finish[d] for d in stage.dependencies), default=0.0)
+            finish[sid] = start + waves * duration
+        return max(finish.values())
+
+    def sweep(self, graph: StageGraph, allocations: np.ndarray) -> np.ndarray:
+        """Run times for each allocation in ``allocations``."""
+        return np.array(
+            [self.runtime(graph, int(a)) for a in allocations]
+        )
+
+
+class AmdahlSkylineSimulator:
+    """Skyline-only Amdahl's-law model: ``runtime(N) = S + P / N``.
+
+    Calibrated from a single observed run: seconds whose usage is at or
+    below ``serial_threshold`` tokens count toward the serial part ``S``;
+    the remaining area is the perfectly parallel work ``P``. AREPAS's
+    advantage over this model is that it keeps the skyline's *shape*
+    (sections below the new allocation are unaffected), while Amdahl
+    smears all parallel work uniformly.
+    """
+
+    def __init__(self, serial_threshold: float = 1.0) -> None:
+        if serial_threshold < 0:
+            raise SimulationError("serial threshold must be non-negative")
+        self.serial_threshold = serial_threshold
+
+    def calibrate(self, skyline: Skyline) -> tuple[float, float]:
+        """Return ``(S, P)`` from one observed skyline."""
+        serial_mask = skyline.usage <= self.serial_threshold
+        serial_seconds = float(np.count_nonzero(serial_mask))
+        parallel_work = float(skyline.usage[~serial_mask].sum())
+        return serial_seconds, parallel_work
+
+    def runtime(self, skyline: Skyline, tokens: float) -> float:
+        """Predicted run time at ``tokens`` from the observed skyline."""
+        if tokens <= 0:
+            raise SimulationError("token allocation must be positive")
+        serial, parallel = self.calibrate(skyline)
+        return serial + parallel / tokens
+
+    def sweep(self, skyline: Skyline, allocations: np.ndarray) -> np.ndarray:
+        serial, parallel = self.calibrate(skyline)
+        allocations = np.asarray(allocations, dtype=float)
+        if np.any(allocations <= 0):
+            raise SimulationError("token allocations must be positive")
+        return serial + parallel / allocations

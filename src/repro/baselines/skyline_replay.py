@@ -1,0 +1,83 @@
+"""Skyline replay: the historical-skyline baseline (Section 1).
+
+The paper considers and rejects an obvious alternative to learned PCC
+prediction: "One option could be to use a job's most recent resource
+allocation skyline to estimate the PCC, however, the skyline could change
+significantly over time due to changes in workloads, such as changes in
+the input sizes. Furthermore, newer and ad-hoc jobs with no historical
+data do not have historical skylines."
+
+This module implements that alternative faithfully so its two failure
+modes can be measured: it keeps each signature's most recent skyline and
+answers run-time queries by running AREPAS on it — ignoring whatever the
+incoming instance's inputs actually look like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arepas.simulator import AREPAS
+from repro.exceptions import ModelError, NotFittedError
+from repro.scope.plan import QueryPlan
+from repro.scope.repository import TelemetryRecord
+from repro.scope.signatures import plan_signature
+from repro.skyline.skyline import Skyline
+
+__all__ = ["SkylineReplay"]
+
+
+@dataclass(frozen=True)
+class _StoredSkyline:
+    skyline: Skyline
+    submit_day: int
+
+
+class SkylineReplay:
+    """Per-signature most-recent-skyline run-time estimator."""
+
+    def __init__(self, simulator: AREPAS | None = None) -> None:
+        self.simulator = simulator or AREPAS()
+        self._latest: dict[str, _StoredSkyline] | None = None
+
+    def fit(self, records: list[TelemetryRecord]) -> "SkylineReplay":
+        """Remember the most recent skyline of every signature."""
+        if not records:
+            raise ModelError("skyline replay needs historical records")
+        latest: dict[str, _StoredSkyline] = {}
+        for record in records:
+            signature = plan_signature(record.plan)
+            stored = latest.get(signature)
+            if stored is None or record.submit_day >= stored.submit_day:
+                latest[signature] = _StoredSkyline(
+                    skyline=record.skyline, submit_day=record.submit_day
+                )
+        self._latest = latest
+        return self
+
+    def covers(self, plan: QueryPlan) -> bool:
+        if self._latest is None:
+            raise NotFittedError("SkylineReplay used before fit")
+        return plan_signature(plan) in self._latest
+
+    def predict_runtime(self, plan: QueryPlan, tokens: float) -> float | None:
+        """Estimated run time at ``tokens``, or None for uncovered jobs.
+
+        Replays the *stored* skyline through AREPAS — which is exactly
+        right if today's instance does the same work as the remembered
+        one, and wrong by the input-growth factor otherwise.
+        """
+        if self._latest is None:
+            raise NotFittedError("SkylineReplay used before fit")
+        stored = self._latest.get(plan_signature(plan))
+        if stored is None:
+            return None
+        if tokens >= stored.skyline.peak:
+            return float(stored.skyline.duration)
+        return float(self.simulator.runtime(stored.skyline, tokens))
+
+    def coverage(self, plans: list[QueryPlan]) -> float:
+        if not plans:
+            raise ModelError("no plans given")
+        covered = sum(1 for plan in plans if self.covers(plan))
+        return covered / len(plans)

@@ -1,0 +1,233 @@
+"""Command-line interface to the TASQ reproduction.
+
+Subcommands mirror the production workflow of Figure 4:
+
+* ``generate`` — create a synthetic workload, execute it on the cluster
+  simulator, and persist the telemetry repository,
+* ``stats`` — summarise a repository (run time / token distributions),
+* ``train`` — fit a PCC model on a repository and pickle it,
+* ``score`` — predict PCCs and token recommendations for jobs,
+* ``whatif`` — the Figure 2 token-reduction analysis,
+* ``flight`` — re-execute a sample of jobs and validate AREPAS.
+
+Example session::
+
+    python -m repro generate --jobs 300 --out history.npz
+    python -m repro train --repo history.npz --model nn --out nn.pkl
+    python -m repro score --model nn.pkl --repo history.npz --limit 5
+    python -m repro whatif --repo history.npz --budget 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+from repro.arepas import error_summary, simulation_errors
+from repro.flighting import FlightHarness, build_flighted_dataset
+from repro.models import TrainConfig, build_dataset
+from repro.models.gnn_model import GNNPCCModel
+from repro.models.nn_model import NNPCCModel
+from repro.models.xgboost_models import XGBoostPL
+from repro.scope import WorkloadGenerator, run_workload
+from repro.scope.serialization import load_repository, save_repository
+from repro.tasq import ScoringPipeline, token_reduction_report
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = WorkloadGenerator(seed=args.seed)
+    jobs = generator.generate(args.jobs)
+    print(f"executing {len(jobs)} jobs ...", file=sys.stderr)
+    repository = run_workload(jobs, seed=args.seed + 1)
+    path = save_repository(repository, args.out)
+    stats = repository.runtime_statistics()
+    print(f"wrote {path} ({len(repository)} records)")
+    print(
+        f"run time median {stats['runtime_median']:.0f}s, "
+        f"peak tokens median {stats['peak_tokens_median']:.0f}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    repository = load_repository(args.repo)
+    for key, value in repository.runtime_statistics().items():
+        print(f"{key:>22}: {value:,.1f}")
+    recurring = sum(1 for r in repository if r.recurring)
+    print(f"{'recurring jobs':>22}: {recurring / len(repository):.0%}")
+    return 0
+
+
+_MODEL_BUILDERS = {
+    "nn": lambda args: NNPCCModel(
+        train_config=TrainConfig(epochs=args.epochs), seed=args.seed
+    ),
+    "gnn": lambda args: GNNPCCModel(
+        train_config=TrainConfig(
+            epochs=max(1, args.epochs // 4), batch_size=32, learning_rate=2e-3
+        ),
+        seed=args.seed,
+    ),
+    "xgboost": lambda args: XGBoostPL(seed=args.seed),
+}
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    repository = load_repository(args.repo)
+    dataset = build_dataset(repository)
+    model = _MODEL_BUILDERS[args.model](args)
+    print(
+        f"training {args.model} on {len(dataset)} jobs ...", file=sys.stderr
+    )
+    model.fit(dataset)
+    with open(args.out, "wb") as handle:
+        pickle.dump(model, handle)
+    print(f"wrote {args.out} ({model.num_parameters() or 'n/a'} parameters)")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    with open(args.model, "rb") as handle:
+        model = pickle.load(handle)
+    repository = load_repository(args.repo)
+    records = repository.records()
+    if args.job is not None:
+        records = [r for r in records if r.job_id == args.job]
+        if not records:
+            print(f"no job {args.job!r} in the repository", file=sys.stderr)
+            return 1
+    records = records[: args.limit]
+
+    scorer = ScoringPipeline(
+        model,
+        improvement_threshold=args.threshold,
+        max_slowdown=args.max_slowdown,
+    )
+    recommendations = scorer.score_batch(
+        [r.plan for r in records], [r.requested_tokens for r in records]
+    )
+    if args.explain:
+        from repro.tasq.explain import explain_recommendation
+
+        for rec in recommendations:
+            print(explain_recommendation(rec))
+            print()
+        return 0
+    header = (
+        f"{'job':<20} {'requested':>9} {'optimal':>8} "
+        f"{'savings':>8} {'slowdown':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for rec in recommendations:
+        print(
+            f"{rec.job_id:<20} {rec.requested_tokens:>9} "
+            f"{rec.optimal_tokens:>8} {rec.token_savings:>7.0%} "
+            f"{rec.predicted_slowdown:>8.1%}"
+        )
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    repository = load_repository(args.repo)
+    report = token_reduction_report(repository, args.budget)
+    print(f"slowdown budget: {args.budget:.0%}")
+    for label, fraction in report.bucket_fractions.items():
+        print(f"  reduction {label:>7}: {fraction:>5.0%} of jobs")
+    print(f"  mean reduction: {report.mean_reduction:.0%}")
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    repository = load_repository(args.repo)
+    records = repository.records()[: args.sample]
+    print(f"flighting {len(records)} jobs ...", file=sys.stderr)
+    flighted = build_flighted_dataset(
+        records, FlightHarness(seed=args.seed)
+    )
+    print(
+        f"{len(flighted)} jobs survived filters "
+        f"({flighted.num_flights} flights)"
+    )
+    summary = error_summary(simulation_errors(flighted.arepas_inputs()))
+    print(
+        f"AREPAS error: median {summary['median_ape']:.1f}%, "
+        f"mean {summary['mean_ape']:.1f}%, worst {summary['worst']:.0f}%"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TASQ reproduction: optimal resource allocation "
+        "for big data analytics (EDBT 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate + execute a workload")
+    generate.add_argument("--jobs", type=int, default=300)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=Path, required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="summarise a repository")
+    stats.add_argument("--repo", type=Path, required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    train = sub.add_parser("train", help="train a PCC model")
+    train.add_argument("--repo", type=Path, required=True)
+    train.add_argument(
+        "--model", choices=sorted(_MODEL_BUILDERS), default="nn"
+    )
+    train.add_argument("--epochs", type=int, default=60)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", type=Path, required=True)
+    train.set_defaults(func=_cmd_train)
+
+    score = sub.add_parser("score", help="score jobs with a trained model")
+    score.add_argument("--model", type=Path, required=True)
+    score.add_argument("--repo", type=Path, required=True)
+    score.add_argument("--job", type=str, default=None)
+    score.add_argument("--limit", type=int, default=10)
+    score.add_argument("--threshold", type=float, default=0.01)
+    score.add_argument("--max-slowdown", type=float, default=None)
+    score.add_argument(
+        "--explain", action="store_true",
+        help="print the full PCC chart and explanation per job",
+    )
+    score.set_defaults(func=_cmd_score)
+
+    whatif = sub.add_parser("whatif", help="token-reduction analysis (Fig 2)")
+    whatif.add_argument("--repo", type=Path, required=True)
+    whatif.add_argument("--budget", type=float, default=0.0)
+    whatif.set_defaults(func=_cmd_whatif)
+
+    flight = sub.add_parser("flight", help="flight jobs, validate AREPAS")
+    flight.add_argument("--repo", type=Path, required=True)
+    flight.add_argument("--sample", type=int, default=25)
+    flight.add_argument("--seed", type=int, default=0)
+    flight.set_defaults(func=_cmd_flight)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLIs.
+        return 0

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the TASQ reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries. The subclasses
+mirror the major subsystems: skylines, the AREPAS simulator, the SCOPE
+substrate, featurization, modeling, and the end-to-end pipeline.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SkylineError(ReproError):
+    """Raised for invalid skyline construction or manipulation."""
+
+
+class SimulationError(ReproError):
+    """Raised when the AREPAS simulator receives unusable inputs."""
+
+
+class PlanError(ReproError):
+    """Raised for malformed query plans (cycles, dangling edges, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the cluster executor cannot run a job."""
+
+
+class FeaturizationError(ReproError):
+    """Raised when features cannot be extracted or encoded."""
+
+
+class FittingError(ReproError):
+    """Raised when a PCC cannot be fitted to the given observations."""
+
+
+class ModelError(ReproError):
+    """Raised for model configuration, training, or inference failures."""
+
+
+class NotFittedError(ModelError):
+    """Raised when predict/transform is called before fit."""
+
+
+class SelectionError(ReproError):
+    """Raised when job subset selection cannot satisfy its constraints."""
+
+
+class FlightingError(ReproError):
+    """Raised when flight re-execution or dataset assembly fails."""
+
+
+class PipelineError(ReproError):
+    """Raised by the end-to-end TASQ training/scoring pipelines."""

@@ -1,0 +1,94 @@
+"""Feature scaling utilities.
+
+Small fit/transform encoders in the scikit-learn style, implemented on
+numpy. Used to standardise feature matrices before NN/GNN training and to
+scale the PCC parameters so neither dominates the loss (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FeaturizationError, NotFittedError
+
+__all__ = ["StandardScaler", "log1p_continuous", "TargetScaler"]
+
+
+def log1p_continuous(values: np.ndarray) -> np.ndarray:
+    """``log(1 + x)`` transform for heavy-tailed non-negative features."""
+    values = np.asarray(values, dtype=float)
+    if np.any(values < 0):
+        raise FeaturizationError("log1p transform requires non-negative values")
+    return np.log1p(values)
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean / unit variance.
+
+    Constant columns (zero variance) are left centred but unscaled, so
+    one-hot columns that never fire do not produce NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise FeaturizationError("scaler expects a 2-D matrix")
+        self.mean_ = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std == 0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler used before fit")
+        matrix = np.asarray(matrix, dtype=float)
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+    def inverse_transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler used before fit")
+        return np.asarray(matrix, dtype=float) * self.scale_ + self.mean_
+
+
+class TargetScaler:
+    """Scales the two PCC parameters to comparable magnitudes.
+
+    Section 4.5 (LF1): "The parameters are scaled so that neither of the
+    two would dominate the loss function." We divide each target column by
+    its training-set mean absolute value. Working in ``(a, log b)`` space,
+    combined with the sign-constrained model heads, is what guarantees the
+    predicted curve is monotonically non-increasing after unscaling.
+    """
+
+    def __init__(self) -> None:
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, targets: np.ndarray) -> "TargetScaler":
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim != 2:
+            raise FeaturizationError("target scaler expects a 2-D matrix")
+        scale = np.abs(targets).mean(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, targets: np.ndarray) -> np.ndarray:
+        if self.scale_ is None:
+            raise NotFittedError("TargetScaler used before fit")
+        return np.asarray(targets, dtype=float) / self.scale_
+
+    def fit_transform(self, targets: np.ndarray) -> np.ndarray:
+        return self.fit(targets).transform(targets)
+
+    def inverse_transform(self, targets: np.ndarray) -> np.ndarray:
+        if self.scale_ is None:
+            raise NotFittedError("TargetScaler used before fit")
+        return np.asarray(targets, dtype=float) * self.scale_

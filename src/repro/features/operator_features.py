@@ -1,0 +1,55 @@
+"""Operator-level featurization (Table 1, GNN input).
+
+Each operator becomes a fixed-width vector laid out per
+:data:`~repro.features.schema.OPERATOR_SCHEMA`:
+
+``[log1p(continuous) | discrete | one-hot operator kind | one-hot
+partitioning]``
+
+and a plan becomes an ``N x P_O`` matrix with rows in topological order —
+the same order as the adjacency matrix from
+:meth:`repro.scope.plan.QueryPlan.adjacency_matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.schema import OPERATOR_SCHEMA, FeatureSchema
+from repro.scope.plan import OperatorNode, QueryPlan
+
+__all__ = ["operator_vector", "plan_feature_matrix"]
+
+
+def operator_vector(
+    node: OperatorNode, schema: FeatureSchema = OPERATOR_SCHEMA
+) -> np.ndarray:
+    """Featurize a single operator into a ``P_O``-width vector."""
+    vector = np.zeros(schema.operator_dim, dtype=np.float64)
+
+    continuous = np.array(
+        [getattr(node, name) for name in schema.continuous], dtype=float
+    )
+    vector[schema.continuous_slice()] = np.log1p(np.clip(continuous, 0.0, None))
+
+    vector[schema.discrete_slice()] = [
+        float(getattr(node, name)) for name in schema.discrete
+    ]
+
+    kind_index = schema.operator_kinds.index(node.kind)
+    vector[schema.operator_kind_slice()][kind_index] = 1.0
+
+    part_index = schema.partitioning_methods.index(node.partitioning)
+    vector[schema.partitioning_slice()][part_index] = 1.0
+    return vector
+
+
+def plan_feature_matrix(
+    plan: QueryPlan, schema: FeatureSchema = OPERATOR_SCHEMA
+) -> np.ndarray:
+    """Featurize a plan into an ``N x P_O`` matrix in topological order."""
+    rows = [
+        operator_vector(plan.nodes[op_id], schema)
+        for op_id in plan.topological_order
+    ]
+    return np.vstack(rows)

@@ -1,0 +1,132 @@
+"""Feature schema (Tables 1 and 2).
+
+Operator-level features come in three groups, each with its own
+pre-processing (Table 1):
+
+* continuous (float) — estimated cardinalities (output / leaf input /
+  children input), average row length, estimated costs (subtree /
+  exclusive / total); log-transformed because they span many orders of
+  magnitude,
+* discrete (integer counts) — number of partitions, partitioning columns,
+  sort columns,
+* categorical (one-hot) — 35 physical operator kinds and 4 partitioning
+  methods.
+
+The fixed layout defined here is shared by the operator-level matrices the
+GNN consumes and the aggregated job-level vectors for XGBoost/NN
+(Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scope.operators import (
+    NUM_OPERATOR_KINDS,
+    NUM_PARTITIONING_METHODS,
+    OPERATOR_NAMES,
+    PARTITIONING_METHODS,
+)
+
+__all__ = [
+    "CONTINUOUS_FEATURES",
+    "DISCRETE_FEATURES",
+    "FeatureSchema",
+    "OPERATOR_SCHEMA",
+    "JOB_EXTRA_FEATURES",
+]
+
+#: Table 1 continuous features, in layout order.
+CONTINUOUS_FEATURES: tuple[str, ...] = (
+    "output_cardinality",
+    "leaf_input_cardinality",
+    "children_input_cardinality",
+    "average_row_length",
+    "cost_subtree",
+    "cost_exclusive",
+    "cost_total",
+)
+
+#: Table 1 discrete features, in layout order.
+DISCRETE_FEATURES: tuple[str, ...] = (
+    "num_partitions",
+    "num_partitioning_columns",
+    "num_sort_columns",
+)
+
+#: Structural features appended only at the job level (Section 4.3:
+#: "The number of operators and stages are included as features as well").
+JOB_EXTRA_FEATURES: tuple[str, ...] = ("num_operators", "num_stages")
+
+
+@dataclass(frozen=True)
+class FeatureSchema:
+    """Column layout of an operator-level feature vector."""
+
+    continuous: tuple[str, ...]
+    discrete: tuple[str, ...]
+    operator_kinds: tuple[str, ...]
+    partitioning_methods: tuple[str, ...]
+
+    @property
+    def num_continuous(self) -> int:
+        return len(self.continuous)
+
+    @property
+    def num_discrete(self) -> int:
+        return len(self.discrete)
+
+    @property
+    def num_categorical(self) -> int:
+        return len(self.operator_kinds) + len(self.partitioning_methods)
+
+    @property
+    def operator_dim(self) -> int:
+        """Width of one operator's feature vector (P_O in the paper)."""
+        return self.num_continuous + self.num_discrete + self.num_categorical
+
+    @property
+    def job_dim(self) -> int:
+        """Width of the aggregated job-level vector (P_J in the paper)."""
+        return self.operator_dim + len(JOB_EXTRA_FEATURES)
+
+    def continuous_slice(self) -> slice:
+        return slice(0, self.num_continuous)
+
+    def discrete_slice(self) -> slice:
+        start = self.num_continuous
+        return slice(start, start + self.num_discrete)
+
+    def operator_kind_slice(self) -> slice:
+        start = self.num_continuous + self.num_discrete
+        return slice(start, start + len(self.operator_kinds))
+
+    def partitioning_slice(self) -> slice:
+        start = (
+            self.num_continuous + self.num_discrete + len(self.operator_kinds)
+        )
+        return slice(start, start + len(self.partitioning_methods))
+
+    def column_names(self) -> list[str]:
+        """Human-readable names for every feature column."""
+        names = list(self.continuous) + list(self.discrete)
+        names.extend(f"op:{kind}" for kind in self.operator_kinds)
+        names.extend(f"part:{m.value}" for m in self.partitioning_methods)
+        return names
+
+
+#: The canonical schema used throughout the repo.
+OPERATOR_SCHEMA = FeatureSchema(
+    continuous=CONTINUOUS_FEATURES,
+    discrete=DISCRETE_FEATURES,
+    operator_kinds=OPERATOR_NAMES,
+    partitioning_methods=PARTITIONING_METHODS,
+)
+
+if OPERATOR_SCHEMA.operator_dim != (
+    len(CONTINUOUS_FEATURES)
+    + len(DISCRETE_FEATURES)
+    + NUM_OPERATOR_KINDS
+    + NUM_PARTITIONING_METHODS
+):
+    raise AssertionError("feature schema layout is inconsistent")

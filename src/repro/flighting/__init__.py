@@ -1,0 +1,24 @@
+"""Flighting: re-execution harness, flighted datasets, workload evaluation."""
+
+from repro.flighting.dataset import (
+    FlightedDataset,
+    FlightedJob,
+    build_flighted_dataset,
+)
+from repro.flighting.evaluation import (
+    WorkloadSavings,
+    evaluate_on_flighted,
+    workload_savings,
+)
+from repro.flighting.flight import Flight, FlightHarness
+
+__all__ = [
+    "Flight",
+    "FlightHarness",
+    "FlightedJob",
+    "FlightedDataset",
+    "build_flighted_dataset",
+    "evaluate_on_flighted",
+    "WorkloadSavings",
+    "workload_savings",
+]

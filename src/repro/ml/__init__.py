@@ -1,0 +1,52 @@
+"""ML substrate: autograd, neural layers, GBM, GNN, losses, metrics."""
+
+from repro.ml.autograd import Tensor, concat, maximum, tensor, where
+from repro.ml.gbm import BoosterParams, GradientBoostingRegressor
+from repro.ml.gnn import (
+    AttentionPooling,
+    GNNEncoder,
+    GraphBatch,
+    GraphConvolution,
+    pad_graph_batch,
+)
+from repro.ml.losses import LF1, LF2, LF3, CompositeLoss, LossInputs
+from repro.ml.metrics import (
+    fraction_non_increasing,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    median_absolute_percentage_error,
+)
+from repro.ml.nn import Activation, Dense, Module, PCCParameterHead, Sequential
+from repro.ml.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "concat",
+    "maximum",
+    "where",
+    "Module",
+    "Dense",
+    "Activation",
+    "Sequential",
+    "PCCParameterHead",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "CompositeLoss",
+    "LossInputs",
+    "LF1",
+    "LF2",
+    "LF3",
+    "mean_absolute_error",
+    "median_absolute_percentage_error",
+    "mean_absolute_percentage_error",
+    "fraction_non_increasing",
+    "BoosterParams",
+    "GradientBoostingRegressor",
+    "GraphBatch",
+    "pad_graph_batch",
+    "GraphConvolution",
+    "AttentionPooling",
+    "GNNEncoder",
+]

@@ -1,0 +1,16 @@
+"""Gradient-boosted regression trees (XGBoost stand-in)."""
+
+from repro.ml.gbm.booster import BoosterParams, GradientBoostingRegressor
+from repro.ml.gbm.objectives import GammaDeviance, Objective, SquaredError
+from repro.ml.gbm.tree import BinMapper, RegressionTree, TreeParams
+
+__all__ = [
+    "BoosterParams",
+    "GradientBoostingRegressor",
+    "Objective",
+    "SquaredError",
+    "GammaDeviance",
+    "BinMapper",
+    "RegressionTree",
+    "TreeParams",
+]

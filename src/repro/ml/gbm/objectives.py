@@ -1,0 +1,83 @@
+"""Boosting objectives (first/second-order gradients).
+
+The booster optimises in *raw score* space; objectives define the link
+between raw scores and predictions and supply the per-sample gradient and
+hessian of the loss with respect to the raw score. The paper trains
+"XGBoost with Gamma regression trees" for run-time prediction —
+:class:`GammaDeviance` reproduces ``reg:gamma`` (log link, gamma negative
+log-likelihood), which is natural for positive, right-skewed run times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["Objective", "SquaredError", "GammaDeviance"]
+
+
+class Objective(ABC):
+    """Defines link, inverse link, and loss derivatives."""
+
+    @abstractmethod
+    def base_score(self, y: np.ndarray) -> float:
+        """Initial raw score minimising the loss with no features."""
+
+    @abstractmethod
+    def gradients(
+        self, y: np.ndarray, raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample (gradient, hessian) of the loss wrt the raw score."""
+
+    @abstractmethod
+    def predict(self, raw: np.ndarray) -> np.ndarray:
+        """Map raw scores to the response scale."""
+
+    def validate_targets(self, y: np.ndarray) -> None:
+        """Raise if the targets are unusable for this objective."""
+
+
+class SquaredError(Objective):
+    """Ordinary least squares; identity link."""
+
+    def base_score(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def gradients(
+        self, y: np.ndarray, raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return raw - y, np.ones_like(y)
+
+    def predict(self, raw: np.ndarray) -> np.ndarray:
+        return raw
+
+
+class GammaDeviance(Objective):
+    """Gamma negative log-likelihood with a log link (``reg:gamma``).
+
+    With ``mu = exp(raw)`` and unit shape, the relevant part of the
+    deviance is ``raw + y * exp(-raw)``; hence
+
+    * gradient  = ``1 - y * exp(-raw)``
+    * hessian   = ``y * exp(-raw)``
+    """
+
+    def validate_targets(self, y: np.ndarray) -> None:
+        if np.any(np.asarray(y) <= 0):
+            raise ModelError("gamma regression requires strictly positive targets")
+
+    def base_score(self, y: np.ndarray) -> float:
+        self.validate_targets(y)
+        return float(np.log(np.mean(y)))
+
+    def gradients(
+        self, y: np.ndarray, raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        exp_neg = np.exp(-np.clip(raw, -60, 60)) * y
+        return 1.0 - exp_neg, exp_neg
+
+    def predict(self, raw: np.ndarray) -> np.ndarray:
+        return np.exp(np.clip(raw, -60, 60))

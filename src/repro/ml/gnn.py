@@ -1,0 +1,176 @@
+"""Graph neural network components (Figure 10).
+
+The paper's GNN follows SimGNN: graph convolution layers produce
+node-level embeddings, an attention layer compares each node to a learned
+global context to pool them into a graph embedding, and a fully connected
+head predicts the two PCC parameters.
+
+Everything operates on *padded batches*: graphs in a batch are padded to
+the largest node count and a node mask keeps padding out of the pooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.features.graph_features import GraphSample
+from repro.ml.autograd import Tensor
+from repro.ml.nn import Dense, Module
+
+__all__ = ["GraphBatch", "pad_graph_batch", "GraphConvolution",
+           "AttentionPooling", "GNNEncoder"]
+
+
+@dataclass(frozen=True)
+class GraphBatch:
+    """A padded batch of graphs.
+
+    Attributes
+    ----------
+    node_features:
+        ``(B, N_max, P)`` padded node feature array.
+    adjacency:
+        ``(B, N_max, N_max)`` padded normalised adjacency.
+    node_mask:
+        ``(B, N_max)`` 1.0 for real nodes, 0.0 for padding.
+    """
+
+    node_features: np.ndarray
+    adjacency: np.ndarray
+    node_mask: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.node_features.shape[0])
+
+    @property
+    def max_nodes(self) -> int:
+        return int(self.node_features.shape[1])
+
+
+def pad_graph_batch(samples: list[GraphSample]) -> GraphBatch:
+    """Pad a list of graph samples into one :class:`GraphBatch`."""
+    if not samples:
+        raise ModelError("cannot batch zero graphs")
+    max_nodes = max(s.num_nodes for s in samples)
+    feature_dim = samples[0].node_features.shape[1]
+    batch = len(samples)
+
+    features = np.zeros((batch, max_nodes, feature_dim))
+    adjacency = np.zeros((batch, max_nodes, max_nodes))
+    mask = np.zeros((batch, max_nodes))
+    for i, sample in enumerate(samples):
+        if sample.node_features.shape[1] != feature_dim:
+            raise ModelError("graphs in a batch must share the feature width")
+        n = sample.num_nodes
+        features[i, :n] = sample.node_features
+        adjacency[i, :n, :n] = sample.adjacency
+        mask[i, :n] = 1.0
+    return GraphBatch(node_features=features, adjacency=adjacency, node_mask=mask)
+
+
+class GraphConvolution(Module):
+    """One GCN layer: ``H' = relu(A_hat H W + b)`` (Kipf & Welling).
+
+    Operates on batched inputs: ``A_hat`` is ``(B, N, N)`` and ``H`` is
+    ``(B, N, F_in)``.
+    """
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        self.linear = Dense(in_features, out_features, rng, init="xavier")
+
+    def parameters(self) -> list[Tensor]:
+        return self.linear.parameters()
+
+    def forward_graph(self, node_states: Tensor, adjacency: Tensor) -> Tensor:
+        aggregated = adjacency @ node_states
+        return self.linear(aggregated).relu()
+
+    def forward(self, inputs: Tensor) -> Tensor:  # pragma: no cover
+        raise ModelError("GraphConvolution requires forward_graph(H, A)")
+
+
+class AttentionPooling(Module):
+    """SimGNN-style attention pooling of node embeddings.
+
+    The global context is ``c = tanh(mean_n(h_n) W_c)`` (the mean taken
+    over real nodes only); each node's attention weight is
+    ``sigmoid(h_n . c)``; the graph embedding is the attention-weighted
+    sum of node embeddings.
+    """
+
+    def __init__(self, features: int, rng: np.random.Generator) -> None:
+        self.context_weight = Tensor(
+            rng.normal(0.0, np.sqrt(1.0 / features), size=(features, features)),
+            requires_grad=True,
+        )
+
+    def parameters(self) -> list[Tensor]:
+        return [self.context_weight]
+
+    def forward_graph(self, node_states: Tensor, node_mask: np.ndarray) -> Tensor:
+        batch, max_nodes, features = node_states.shape
+        mask3 = node_mask[:, :, None]  # (B, N, 1) constant
+        counts = node_mask.sum(axis=1, keepdims=True)  # (B, 1)
+        if np.any(counts == 0):
+            raise ModelError("a graph in the batch has no nodes")
+
+        masked = node_states * Tensor(mask3)
+        mean_nodes = masked.sum(axis=1) * Tensor(1.0 / counts)  # (B, F)
+        context = (mean_nodes @ self.context_weight).tanh()  # (B, F)
+
+        # Attention score per node: sigmoid(h_n . c).
+        scores = (node_states * context.reshape(batch, 1, features)).sum(axis=2)
+        attention = scores.sigmoid() * Tensor(node_mask)  # (B, N)
+
+        weighted = node_states * attention.reshape(batch, max_nodes, 1)
+        return weighted.sum(axis=1)  # (B, F)
+
+    def forward(self, inputs: Tensor) -> Tensor:  # pragma: no cover
+        raise ModelError("AttentionPooling requires forward_graph(H, mask)")
+
+
+class GNNEncoder(Module):
+    """Stacked GCN layers followed by attention pooling.
+
+    Maps a :class:`GraphBatch` to a ``(B, hidden)`` graph embedding that a
+    fully connected head can consume.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> None:
+        if not hidden_sizes:
+            raise ModelError("GNN encoder needs at least one hidden layer")
+        self.layers: list[GraphConvolution] = []
+        previous = in_features
+        for size in hidden_sizes:
+            self.layers.append(GraphConvolution(previous, size, rng))
+            previous = size
+        self.pooling = AttentionPooling(previous, rng)
+        self.output_dim = previous
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        params.extend(self.pooling.parameters())
+        return params
+
+    def encode(self, batch: GraphBatch) -> Tensor:
+        states = Tensor(batch.node_features)
+        adjacency = Tensor(batch.adjacency)
+        for layer in self.layers:
+            states = layer.forward_graph(states, adjacency)
+        return self.pooling.forward_graph(states, batch.node_mask)
+
+    def forward(self, inputs: Tensor) -> Tensor:  # pragma: no cover
+        raise ModelError("GNNEncoder requires encode(GraphBatch)")

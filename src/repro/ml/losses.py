@@ -1,0 +1,143 @@
+"""The constrained loss functions LF1, LF2, LF3 (Section 4.5).
+
+All three are built from mean absolute error (MAE) components:
+
+* **LF1** — MAE of the (scaled) PCC curve parameters only.
+* **LF2** — LF1 plus a penalisation term: MAE, in percent, of the run-time
+  prediction at each job's observed token count. Only ground-truth run
+  times feed this term, which is what keeps the simulator an inductive
+  bias rather than the thing being learned.
+* **LF3** — LF2 plus a transfer term: mean absolute percentage difference
+  between the network's and XGBoost's run-time predictions at the
+  observed token count.
+
+The component weights are hyper-parameters; the paper tunes them so the
+curve-parameter MAE under LF2 stays close to LF1's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.autograd import Tensor
+
+__all__ = ["LossInputs", "CompositeLoss", "LF1", "LF2", "LF3"]
+
+
+@dataclass
+class LossInputs:
+    """Per-batch constants the loss needs besides the predictions.
+
+    Attributes
+    ----------
+    target_params:
+        ``(batch, 2)`` array of fitted ``(a, log b)`` targets (unscaled).
+    param_scale:
+        Length-2 positive array used to scale both predictions and
+        targets so neither parameter dominates (Section 4.5).
+    log_tokens:
+        ``(batch,)`` log of each job's observed token count.
+    true_runtime:
+        ``(batch,)`` ground-truth run times at the observed tokens.
+    xgb_runtime:
+        ``(batch,)`` XGBoost run-time predictions (only needed for LF3).
+    """
+
+    target_params: np.ndarray
+    param_scale: np.ndarray
+    log_tokens: np.ndarray
+    true_runtime: np.ndarray
+    xgb_runtime: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.target_params = np.asarray(self.target_params, dtype=float)
+        self.param_scale = np.asarray(self.param_scale, dtype=float)
+        self.log_tokens = np.asarray(self.log_tokens, dtype=float)
+        self.true_runtime = np.asarray(self.true_runtime, dtype=float)
+        if self.target_params.ndim != 2 or self.target_params.shape[1] != 2:
+            raise ModelError("target_params must be (batch, 2)")
+        if self.param_scale.shape != (2,) or np.any(self.param_scale <= 0):
+            raise ModelError("param_scale must be two positive values")
+        if np.any(self.true_runtime <= 0):
+            raise ModelError("true run times must be positive")
+        if self.xgb_runtime is not None:
+            self.xgb_runtime = np.asarray(self.xgb_runtime, dtype=float)
+            if np.any(self.xgb_runtime <= 0):
+                raise ModelError("xgb run times must be positive")
+
+    def subset(self, indices: np.ndarray) -> "LossInputs":
+        """The loss inputs restricted to a mini-batch."""
+        return LossInputs(
+            target_params=self.target_params[indices],
+            param_scale=self.param_scale,
+            log_tokens=self.log_tokens[indices],
+            true_runtime=self.true_runtime[indices],
+            xgb_runtime=(
+                None if self.xgb_runtime is None else self.xgb_runtime[indices]
+            ),
+        )
+
+
+class CompositeLoss:
+    """Weighted combination of the three MAE components.
+
+    ``weights = (w_params, w_runtime, w_transfer)``; LF1 is
+    ``(1, 0, 0)``, LF2 ``(1, w, 0)``, LF3 ``(1, w, v)``.
+    """
+
+    def __init__(self, weights: tuple[float, float, float]) -> None:
+        if len(weights) != 3 or any(w < 0 for w in weights):
+            raise ModelError("loss weights must be three non-negative values")
+        if weights[0] <= 0:
+            raise ModelError("the curve-parameter component must be active")
+        self.weights = weights
+
+    @property
+    def needs_xgb(self) -> bool:
+        return self.weights[2] > 0
+
+    def __call__(self, predicted_params: Tensor, inputs: LossInputs) -> Tensor:
+        """Scalar loss for a ``(batch, 2)`` prediction of ``(a, log b)``."""
+        w_params, w_runtime, w_transfer = self.weights
+
+        inv_scale = 1.0 / inputs.param_scale
+        scaled_pred = predicted_params * inv_scale
+        scaled_target = inputs.target_params * inv_scale
+        loss = (scaled_pred - Tensor(scaled_target)).abs().mean() * w_params
+
+        if w_runtime > 0 or w_transfer > 0:
+            a = predicted_params[:, 0]
+            log_b = predicted_params[:, 1]
+            log_runtime = log_b + a * Tensor(inputs.log_tokens)
+            runtime = log_runtime.exp()
+
+            if w_runtime > 0:
+                true = Tensor(inputs.true_runtime)
+                relative = ((runtime - true) * (1.0 / inputs.true_runtime)).abs()
+                loss = loss + relative.mean() * w_runtime
+
+            if w_transfer > 0:
+                if inputs.xgb_runtime is None:
+                    raise ModelError("LF3 requires XGBoost run-time predictions")
+                xgb = Tensor(inputs.xgb_runtime)
+                relative = ((runtime - xgb) * (1.0 / inputs.xgb_runtime)).abs()
+                loss = loss + relative.mean() * w_transfer
+        return loss
+
+
+def LF1() -> CompositeLoss:
+    """Single-component loss: scaled curve-parameter MAE."""
+    return CompositeLoss((1.0, 0.0, 0.0))
+
+
+def LF2(runtime_weight: float = 0.5) -> CompositeLoss:
+    """Two components: parameter MAE + run-time percentage MAE."""
+    return CompositeLoss((1.0, runtime_weight, 0.0))
+
+
+def LF3(runtime_weight: float = 0.5, transfer_weight: float = 0.25) -> CompositeLoss:
+    """Three components: LF2 + XGBoost transfer term."""
+    return CompositeLoss((1.0, runtime_weight, transfer_weight))

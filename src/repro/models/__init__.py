@@ -1,0 +1,41 @@
+"""TASQ prediction models: XGBoost SS/PL, NN, GNN, and evaluation."""
+
+from repro.models.base import PCCPredictor
+from repro.models.dataset import PCCDataset, PCCExample, build_dataset
+from repro.models.evaluation import (
+    ModelEvaluation,
+    evaluate_model,
+    evaluation_table,
+)
+from repro.models.fine_grained import FineGrainedPCCModel
+from repro.models.gnn_model import GNNPCCModel
+from repro.models.nn_model import NNPCCModel
+from repro.models.training import TrainConfig, train_parameter_model
+from repro.models.tuning import WeightTuningResult, tune_runtime_weight
+from repro.models.xgboost_models import (
+    XGBoostPL,
+    XGBoostRuntimeModel,
+    XGBoostSS,
+    reference_window,
+)
+
+__all__ = [
+    "PCCPredictor",
+    "PCCDataset",
+    "PCCExample",
+    "build_dataset",
+    "TrainConfig",
+    "train_parameter_model",
+    "NNPCCModel",
+    "GNNPCCModel",
+    "FineGrainedPCCModel",
+    "XGBoostRuntimeModel",
+    "XGBoostSS",
+    "XGBoostPL",
+    "reference_window",
+    "ModelEvaluation",
+    "evaluate_model",
+    "evaluation_table",
+    "WeightTuningResult",
+    "tune_runtime_weight",
+]

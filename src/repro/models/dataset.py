@@ -1,0 +1,155 @@
+"""Training/evaluation datasets for the PCC prediction models.
+
+A :class:`PCCDataset` is built from a telemetry repository: for every
+historical job it
+
+* runs the AREPAS sweep and fits the power-law PCC, whose ``(a, log b)``
+  parameters become the trend-model targets (Sections 3-4),
+* extracts the aggregated job-level feature vector (XGBoost/NN input),
+* extracts the operator-level graph sample (GNN input),
+* generates the discrete point-augmented observations for the XGBoost
+  run-time model (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arepas.augmentation import (
+    AugmentedObservation,
+    augment_point_observations,
+    default_token_grid,
+)
+from repro.arepas.simulator import AREPAS
+from repro.exceptions import ModelError
+from repro.features.graph_features import GraphSample, plan_to_graph_sample
+from repro.features.job_features import job_vector
+from repro.pcc.curve import PowerLawPCC
+from repro.pcc.fitting import fit_from_skyline
+from repro.scope.repository import JobRepository, TelemetryRecord
+
+__all__ = ["PCCExample", "PCCDataset", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class PCCExample:
+    """One job's features, targets, and augmentation."""
+
+    job_id: str
+    observed_tokens: float
+    observed_runtime: float
+    target_pcc: PowerLawPCC
+    job_features: np.ndarray
+    graph: GraphSample
+    point_observations: tuple[AugmentedObservation, ...]
+
+    @property
+    def target_parameters(self) -> tuple[float, float]:
+        """``(a, log b)`` — the trend-model regression target."""
+        return self.target_pcc.log_parameters()
+
+
+@dataclass
+class PCCDataset:
+    """A featurized collection of :class:`PCCExample` objects."""
+
+    examples: list[PCCExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self):
+        return iter(self.examples)
+
+    # ------------------------------------------------------------------
+    # matrix views
+    # ------------------------------------------------------------------
+    def job_feature_matrix(self) -> np.ndarray:
+        """``(M, P_J)`` aggregated job features."""
+        self._require_nonempty()
+        return np.vstack([e.job_features for e in self.examples])
+
+    def target_matrix(self) -> np.ndarray:
+        """``(M, 2)`` targets ``(a, log b)``."""
+        self._require_nonempty()
+        return np.array([e.target_parameters for e in self.examples])
+
+    def observed_tokens(self) -> np.ndarray:
+        return np.array([e.observed_tokens for e in self.examples])
+
+    def observed_runtimes(self) -> np.ndarray:
+        return np.array([e.observed_runtime for e in self.examples])
+
+    def graph_samples(self) -> list[GraphSample]:
+        return [e.graph for e in self.examples]
+
+    def point_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded (features+log tokens, runtime) rows for XGBoost.
+
+        Each job contributes one row per augmented observation; the token
+        count is appended (in log space) as an extra feature column.
+        """
+        self._require_nonempty()
+        rows = []
+        targets = []
+        for example in self.examples:
+            for obs in example.point_observations:
+                rows.append(
+                    np.concatenate(
+                        [example.job_features, [np.log(obs.tokens)]]
+                    )
+                )
+                targets.append(obs.runtime)
+        return np.vstack(rows), np.array(targets)
+
+    def _require_nonempty(self) -> None:
+        if not self.examples:
+            raise ModelError("dataset is empty")
+
+
+def build_dataset(
+    repository: JobRepository | list[TelemetryRecord],
+    grid_points: int = 8,
+    simulator: AREPAS | None = None,
+) -> PCCDataset:
+    """Featurize a repository into a :class:`PCCDataset`.
+
+    ``grid_points`` controls the AREPAS sweep resolution used to fit each
+    job's target PCC. Jobs whose reference allocation is a single token
+    (no room below the observed allocation) are skipped — their PCC is
+    unidentifiable.
+    """
+    simulator = simulator or AREPAS()
+    records = (
+        repository.records()
+        if isinstance(repository, JobRepository)
+        else list(repository)
+    )
+    dataset = PCCDataset()
+    for record in records:
+        if record.requested_tokens < 2:
+            continue
+        grid = default_token_grid(record.requested_tokens, num_points=grid_points)
+        target = fit_from_skyline(record.skyline, record.requested_tokens, grid)
+        dataset.examples.append(
+            PCCExample(
+                job_id=record.job_id,
+                observed_tokens=float(record.requested_tokens),
+                observed_runtime=float(record.runtime),
+                target_pcc=target,
+                job_features=job_vector(record.plan),
+                graph=plan_to_graph_sample(record.plan),
+                point_observations=tuple(
+                    augment_point_observations(
+                        record.skyline,
+                        record.requested_tokens,
+                        simulator=simulator,
+                    )
+                ),
+            )
+        )
+    if not dataset.examples:
+        raise ModelError("no usable records in the repository")
+    return dataset

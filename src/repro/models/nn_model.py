@@ -1,0 +1,136 @@
+"""Feed-forward NN model: aggregated job features -> PCC parameters.
+
+Table 2's "NN" row: a multi-layer fully connected network over the
+aggregated job-level features, predicting the two power-law parameters
+with a sign-constrained head so the predicted PCC is monotonically
+non-increasing by construction (Section 4.4/4.5).
+
+With the default hidden sizes ``(32, 16)`` and the 51-wide job feature
+vector, the network has ~2.2K parameters — matching the paper's Table 7
+NN figure of 2,216.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.features.encoders import StandardScaler, TargetScaler
+from repro.ml.autograd import Tensor
+from repro.ml.losses import CompositeLoss, LF2, LossInputs
+from repro.ml.nn import Activation, Dense, PCCParameterHead, Sequential
+from repro.models.base import PCCPredictor
+from repro.models.dataset import PCCDataset
+from repro.models.training import TrainConfig, train_parameter_model
+
+__all__ = ["NNPCCModel"]
+
+
+class NNPCCModel(PCCPredictor):
+    """MLP trend model with guaranteed non-increasing PCCs."""
+
+    name = "NN"
+    guarantees_monotonic = True
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (32, 16),
+        loss: CompositeLoss | None = None,
+        train_config: TrainConfig | None = None,
+        xgb_model: PCCPredictor | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not hidden_sizes:
+            raise ModelError("NN needs at least one hidden layer")
+        self.hidden_sizes = hidden_sizes
+        self.loss = loss or LF2()
+        self.train_config = train_config or TrainConfig()
+        self.xgb_model = xgb_model
+        self._seed = seed
+        self._scaler = StandardScaler()
+        self._target_scaler = TargetScaler()
+        self._network: Sequential | None = None
+        self.loss_history_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _build_network(self, in_features: int) -> Sequential:
+        rng = np.random.default_rng(self._seed)
+        modules = []
+        previous = in_features
+        for size in self.hidden_sizes:
+            modules.append(Dense(previous, size, rng))
+            modules.append(Activation("relu"))
+            previous = size
+        modules.append(PCCParameterHead(previous, rng))
+        return Sequential(*modules)
+
+    def fit(self, dataset: PCCDataset) -> "NNPCCModel":
+        features = self._scaler.fit_transform(dataset.job_feature_matrix())
+        targets = dataset.target_matrix()
+        self._target_scaler.fit(targets)
+
+        xgb_runtime = None
+        if self.loss.needs_xgb:
+            if self.xgb_model is None:
+                raise ModelError("LF3 requires a fitted XGBoost model")
+            xgb_runtime = self.xgb_model.predict_runtime_at(
+                dataset, dataset.observed_tokens()
+            )
+
+        inputs = LossInputs(
+            target_params=targets,
+            param_scale=self._target_scaler.scale_,
+            log_tokens=np.log(dataset.observed_tokens()),
+            true_runtime=dataset.observed_runtimes(),
+            xgb_runtime=xgb_runtime,
+        )
+
+        self._network = self._build_network(features.shape[1])
+
+        def forward(batch: np.ndarray) -> Tensor:
+            return self._network(Tensor(features[batch]))
+
+        self.loss_history_ = train_parameter_model(
+            forward,
+            self._network.parameters(),
+            self.loss,
+            inputs,
+            num_examples=len(dataset),
+            config=self.train_config,
+            rng=np.random.default_rng(self._seed + 1),
+        )
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_parameters(self, dataset: PCCDataset) -> np.ndarray:
+        self._check_fitted()
+        assert self._network is not None
+        features = self._scaler.transform(dataset.job_feature_matrix())
+        return self._network(Tensor(features)).numpy()
+
+    def predict_runtime_at(
+        self, dataset: PCCDataset, tokens: np.ndarray
+    ) -> np.ndarray:
+        parameters = self.predict_parameters(dataset)
+        tokens = np.asarray(tokens, dtype=float)
+        if np.any(tokens <= 0):
+            raise ModelError("token counts must be positive")
+        return np.exp(parameters[:, 1] + parameters[:, 0] * np.log(tokens))
+
+    def predict_curves(
+        self, dataset: PCCDataset, grids: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        parameters = self.predict_parameters(dataset)
+        if len(grids) != parameters.shape[0]:
+            raise ModelError("one grid per example is required")
+        return [
+            np.exp(log_b + a * np.log(np.asarray(grid, dtype=float)))
+            for (a, log_b), grid in zip(parameters, grids)
+        ]
+
+    def num_parameters(self) -> int:
+        if self._network is None:
+            return 0
+        return self._network.num_parameters()

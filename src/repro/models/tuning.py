@@ -1,0 +1,100 @@
+"""Loss-weight tuning (Section 4.5).
+
+The paper treats the component weights of LF2/LF3 as hyper-parameters and
+"tuned the penalization weights so that the MAE of the curve parameters in
+LF2 is close to that of LF1" — i.e. pick the largest run-time penalty that
+does not degrade the trend fit. :func:`tune_runtime_weight` implements
+exactly that procedure as a validation-set grid search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.losses import LF1, LF2
+from repro.models.base import PCCPredictor
+from repro.models.dataset import PCCDataset
+from repro.models.evaluation import evaluate_model
+
+__all__ = ["WeightTuningResult", "tune_runtime_weight"]
+
+
+@dataclass(frozen=True)
+class WeightTuningResult:
+    """Outcome of the LF2 run-time weight search."""
+
+    best_weight: float
+    lf1_param_mae: float
+    trials: tuple[tuple[float, float, float], ...]
+    # each trial: (weight, curve_param_mae, runtime_median_ape)
+
+    def best_trial(self) -> tuple[float, float, float]:
+        for trial in self.trials:
+            if trial[0] == self.best_weight:
+                return trial
+        raise ModelError("best weight missing from trials")
+
+
+def tune_runtime_weight(
+    model_factory: Callable[[object], PCCPredictor],
+    train: PCCDataset,
+    validation: PCCDataset,
+    weights: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0, 2.0),
+    tolerance: float = 1.25,
+) -> WeightTuningResult:
+    """Pick LF2's run-time weight per the paper's tuning rule.
+
+    Parameters
+    ----------
+    model_factory:
+        Maps a loss object to a fresh unfitted model, e.g.
+        ``lambda loss: NNPCCModel(loss=loss, train_config=...)``.
+    train, validation:
+        Featurized datasets; the rule is evaluated on ``validation``.
+    weights:
+        Candidate run-time-component weights.
+    tolerance:
+        A weight is *admissible* when its curve-parameter MAE is at most
+        ``tolerance`` times the LF1 reference ("close to LF1"). Among
+        admissible weights the one with the lowest run-time median APE
+        wins; if none is admissible, the weight with the lowest parameter
+        MAE wins.
+    """
+    if not weights:
+        raise ModelError("no candidate weights given")
+    if tolerance < 1.0:
+        raise ModelError("tolerance must be at least 1.0")
+
+    reference = model_factory(LF1()).fit(train)
+    lf1_eval = evaluate_model(reference, validation)
+    if lf1_eval.curve_param_mae is None:
+        raise ModelError("weight tuning needs a parametric model")
+    lf1_mae = lf1_eval.curve_param_mae
+
+    trials = []
+    for weight in weights:
+        model = model_factory(LF2(runtime_weight=weight)).fit(train)
+        evaluation = evaluate_model(model, validation)
+        trials.append(
+            (
+                float(weight),
+                float(evaluation.curve_param_mae),
+                float(evaluation.runtime_median_ape),
+            )
+        )
+
+    admissible = [t for t in trials if t[1] <= tolerance * lf1_mae]
+    if admissible:
+        best = min(admissible, key=lambda t: t[2])
+    else:
+        best = min(trials, key=lambda t: t[1])
+
+    return WeightTuningResult(
+        best_weight=best[0],
+        lf1_param_mae=float(lf1_mae),
+        trials=tuple(trials),
+    )

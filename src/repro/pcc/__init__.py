@@ -1,0 +1,31 @@
+"""Performance characteristic curves: representation, fitting, decisions."""
+
+from repro.pcc.curve import PowerLawPCC
+from repro.pcc.families import (
+    AmdahlPCC,
+    PCCFamily,
+    ShiftedPowerLawPCC,
+    fit_family,
+)
+from repro.pcc.fitting import (
+    fit_from_skyline,
+    fit_observations,
+    fit_power_law,
+    fit_quality,
+)
+from repro.pcc.optimal import find_elbow, optimal_tokens, tokens_for_slowdown
+
+__all__ = [
+    "PowerLawPCC",
+    "PCCFamily",
+    "AmdahlPCC",
+    "ShiftedPowerLawPCC",
+    "fit_family",
+    "fit_power_law",
+    "fit_observations",
+    "fit_from_skyline",
+    "fit_quality",
+    "optimal_tokens",
+    "tokens_for_slowdown",
+    "find_elbow",
+]

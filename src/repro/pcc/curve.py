@@ -1,0 +1,116 @@
+"""The performance characteristic curve (PCC).
+
+Section 4.1 models a job's run time as a power law of its token
+allocation:
+
+    runtime(A) = b * A^a
+
+with scalar parameters ``a`` (the exponent; Amdahl's law is the special
+case ``a = -1``) and ``b`` (the scale). The PCC is monotonically
+non-increasing exactly when the signs of ``a`` and ``b`` are inconsistent
+— in the practically relevant regime ``b > 0`` and ``a <= 0``.
+
+In log-log space the power law is the straight line
+``log(runtime) = log(b) + a * log(A)`` (Figure 9), which is what both the
+fitting code and the learned models work with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FittingError
+
+__all__ = ["PowerLawPCC"]
+
+
+@dataclass(frozen=True)
+class PowerLawPCC:
+    """An immutable power-law PCC with parameters ``a`` and ``b``.
+
+    Parameters
+    ----------
+    a:
+        The exponent. Non-positive for well-behaved jobs.
+    b:
+        The scale, in seconds at one token. Must be positive (a job
+        cannot have a non-positive run time).
+    """
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.a) or not np.isfinite(self.b):
+            raise FittingError("PCC parameters must be finite")
+        if self.b <= 0:
+            raise FittingError("PCC scale parameter b must be positive")
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def runtime(self, tokens: float | np.ndarray) -> float | np.ndarray:
+        """Predicted run time (seconds) at the given token count(s)."""
+        tokens_arr = np.asarray(tokens, dtype=float)
+        if np.any(tokens_arr <= 0):
+            raise FittingError("token counts must be positive")
+        result = self.b * np.power(tokens_arr, self.a)
+        if np.isscalar(tokens) or tokens_arr.ndim == 0:
+            return float(result)
+        return result
+
+    def log_runtime(self, log_tokens: float | np.ndarray) -> float | np.ndarray:
+        """The PCC in log-log space: ``log b + a * log A``."""
+        return np.log(self.b) + self.a * np.asarray(log_tokens, dtype=float)
+
+    def slope(self, tokens: float) -> float:
+        """d(runtime)/d(tokens) at ``tokens``: ``a * b * A^(a-1)``."""
+        if tokens <= 0:
+            raise FittingError("token counts must be positive")
+        return self.a * self.b * tokens ** (self.a - 1.0)
+
+    def relative_improvement(self, tokens: float) -> float:
+        """Fractional run-time reduction from one additional token.
+
+        ``-f'(A)/f(A) = -a / A``: the marginal-gain quantity that the
+        optimal-allocation threshold of Section 2.1/4.4 is applied to.
+        """
+        if tokens <= 0:
+            raise FittingError("token counts must be positive")
+        return -self.a / tokens
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def is_non_increasing(self) -> bool:
+        """True when run time never increases with more tokens.
+
+        With ``b > 0`` enforced, this is simply ``a <= 0`` — the paper's
+        "signs of a and b are inconsistent" condition.
+        """
+        return self.a <= 0
+
+    def speedup(self, from_tokens: float, to_tokens: float) -> float:
+        """Run-time ratio ``runtime(from) / runtime(to)``."""
+        return float(self.runtime(from_tokens) / self.runtime(to_tokens))
+
+    def parameters(self) -> tuple[float, float]:
+        """``(a, b)`` as a plain tuple."""
+        return (self.a, self.b)
+
+    def log_parameters(self) -> tuple[float, float]:
+        """``(a, log b)`` — the regression/learning target space."""
+        return (self.a, float(np.log(self.b)))
+
+    @classmethod
+    def from_log_parameters(cls, a: float, log_b: float) -> "PowerLawPCC":
+        """Construct from ``(a, log b)``; inverse of :meth:`log_parameters`."""
+        return cls(a=float(a), b=float(np.exp(log_b)))
+
+    @classmethod
+    def amdahl(cls, single_token_runtime: float) -> "PowerLawPCC":
+        """The Amdahl special case ``a = -1`` (perfectly parallel work)."""
+        return cls(a=-1.0, b=single_token_runtime)

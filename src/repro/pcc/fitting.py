@@ -1,0 +1,136 @@
+"""Fitting power-law PCCs to (tokens, run time) observations.
+
+Because a power law is linear in log-log space (Figure 9), fitting reduces
+to ordinary least squares on ``log(runtime) ~ log(tokens)``. Weighted
+variants let the caller up-weight the actually observed point relative to
+AREPAS-simulated ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arepas.augmentation import AugmentedObservation
+from repro.exceptions import FittingError
+from repro.pcc.curve import PowerLawPCC
+
+__all__ = ["fit_power_law", "fit_observations", "fit_from_skyline", "fit_quality"]
+
+
+def fit_power_law(
+    tokens: np.ndarray,
+    runtimes: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> PowerLawPCC:
+    """Least-squares power-law fit in log-log space.
+
+    Parameters
+    ----------
+    tokens, runtimes:
+        Positive observation vectors of equal length (>= 2 distinct token
+        values are required to identify the slope).
+    weights:
+        Optional per-observation weights.
+
+    Raises
+    ------
+    FittingError
+        On degenerate inputs (non-positive values, fewer than two distinct
+        token counts).
+    """
+    tokens = np.asarray(tokens, dtype=float)
+    runtimes = np.asarray(runtimes, dtype=float)
+    if tokens.shape != runtimes.shape or tokens.ndim != 1:
+        raise FittingError("tokens and runtimes must be equal-length vectors")
+    if tokens.size < 2:
+        raise FittingError("need at least two observations to fit a PCC")
+    if np.any(tokens <= 0) or np.any(runtimes <= 0):
+        raise FittingError("tokens and runtimes must be positive")
+    if np.unique(tokens).size < 2:
+        raise FittingError("need at least two distinct token counts")
+
+    x = np.log(tokens)
+    y = np.log(runtimes)
+    if weights is None:
+        w = np.ones_like(x)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != x.shape or np.any(w < 0) or w.sum() == 0:
+            raise FittingError("weights must be non-negative and not all zero")
+
+    w_sum = w.sum()
+    x_mean = (w * x).sum() / w_sum
+    y_mean = (w * y).sum() / w_sum
+    var_x = (w * (x - x_mean) ** 2).sum()
+    if var_x <= 0:
+        raise FittingError("token counts are not distinguishable in log space")
+    cov_xy = (w * (x - x_mean) * (y - y_mean)).sum()
+    a = cov_xy / var_x
+    log_b = y_mean - a * x_mean
+    return PowerLawPCC.from_log_parameters(a, log_b)
+
+
+def fit_observations(
+    observations: list[AugmentedObservation],
+    observed_weight: float = 1.0,
+) -> PowerLawPCC:
+    """Fit a PCC to augmented observations.
+
+    ``observed_weight`` (>= 1) multiplies the weight of samples whose
+    source is ``"observed"``, keeping the true telemetry point first-class
+    relative to simulated ones (Section 4's pitfall discussion).
+    """
+    if observed_weight < 1:
+        raise FittingError("observed_weight must be at least 1")
+    tokens = np.array([o.tokens for o in observations])
+    runtimes = np.array([o.runtime for o in observations])
+    weights = np.array(
+        [observed_weight if o.source == "observed" else 1.0 for o in observations]
+    )
+    return fit_power_law(tokens, runtimes, weights)
+
+
+def fit_from_skyline(
+    skyline,
+    reference_tokens: float,
+    grid: np.ndarray | None = None,
+) -> PowerLawPCC:
+    """End-to-end: AREPAS-sweep a skyline and fit the PCC (Section 3 + 4).
+
+    This is the labelling step of the TASQ training pipeline: one observed
+    run of the job is enough to synthesise the whole curve.
+    """
+    from repro.arepas.augmentation import default_token_grid, sweep_token_grid
+
+    if grid is None:
+        grid = default_token_grid(reference_tokens)
+    observations = sweep_token_grid(
+        skyline, grid, observed_tokens=reference_tokens
+    )
+    return fit_observations(observations)
+
+
+def fit_quality(
+    pcc: PowerLawPCC, tokens: np.ndarray, runtimes: np.ndarray
+) -> dict[str, float]:
+    """Goodness-of-fit diagnostics in log-log space.
+
+    Returns R^2 and the median/max absolute percentage error of the fitted
+    run times against the provided observations.
+    """
+    tokens = np.asarray(tokens, dtype=float)
+    runtimes = np.asarray(runtimes, dtype=float)
+    predicted = np.asarray(pcc.runtime(tokens), dtype=float)
+    ape = np.abs(predicted - runtimes) / runtimes * 100.0
+
+    y = np.log(runtimes)
+    residual = y - np.log(predicted)
+    total = y - y.mean()
+    ss_res = float((residual**2).sum())
+    ss_tot = float((total**2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return {
+        "r_squared": r_squared,
+        "median_ape": float(np.median(ape)),
+        "max_ape": float(ape.max()),
+    }

@@ -1,0 +1,52 @@
+"""SCOPE-like substrate: operators, plans, workload generation, execution."""
+
+from repro.scope.cluster import ClusterQueue, QueuedJob, QueueOutcome, QueueReport
+from repro.scope.execution import ClusterExecutor, ExecutionResult
+from repro.scope.generator import JobInstance, WorkloadConfig, WorkloadGenerator
+from repro.scope.operators import (
+    NUM_OPERATOR_KINDS,
+    NUM_PARTITIONING_METHODS,
+    OPERATOR_CATALOG,
+    OPERATOR_NAMES,
+    PARTITIONING_METHODS,
+    OperatorCategory,
+    OperatorSpec,
+    PartitioningMethod,
+)
+from repro.scope.plan import OperatorNode, QueryPlan
+from repro.scope.repository import JobRepository, TelemetryRecord, run_workload
+from repro.scope.serialization import load_repository, save_repository
+from repro.scope.signatures import plan_signature
+from repro.scope.stages import CostModel, Stage, StageGraph, decompose_stages
+
+__all__ = [
+    "OperatorCategory",
+    "PartitioningMethod",
+    "OperatorSpec",
+    "OPERATOR_CATALOG",
+    "OPERATOR_NAMES",
+    "PARTITIONING_METHODS",
+    "NUM_OPERATOR_KINDS",
+    "NUM_PARTITIONING_METHODS",
+    "OperatorNode",
+    "QueryPlan",
+    "CostModel",
+    "Stage",
+    "StageGraph",
+    "decompose_stages",
+    "ClusterExecutor",
+    "ExecutionResult",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "JobInstance",
+    "JobRepository",
+    "TelemetryRecord",
+    "run_workload",
+    "save_repository",
+    "load_repository",
+    "plan_signature",
+    "ClusterQueue",
+    "QueuedJob",
+    "QueueOutcome",
+    "QueueReport",
+]

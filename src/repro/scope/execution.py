@@ -1,0 +1,257 @@
+"""Discrete-event cluster executor.
+
+This module stands in for the Cosmos cluster: it "runs" a job — i.e. a
+:class:`~repro.scope.stages.StageGraph` — with a given token allocation and
+produces the job's run time and its per-second resource skyline. Together
+with the workload generator it replaces the proprietary production traces
+the paper trains on, and it provides the re-execution ("flighting")
+capability used for ground-truth PCCs.
+
+Model:
+
+* a token is a container that executes exactly one task at a time,
+* a stage becomes *ready* when all stages it depends on have finished,
+* tasks of ready stages are started greedily, FIFO over stage topological
+  order, whenever a token is free,
+* task durations are the stage's nominal duration times an optional
+  lognormal jitter plus a straggler tail, so repeated executions differ
+  (which is what the paper's flight-anomaly filters react to).
+
+The simulation is event-driven (a heap of task completions), and the
+skyline is recovered exactly by integrating the tasks-running step function
+over one-second bins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.scope.stages import CostModel, StageGraph
+from repro.skyline.skyline import Skyline
+
+__all__ = ["ExecutionResult", "ClusterExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one simulated job execution."""
+
+    job_id: str
+    tokens: int
+    skyline: Skyline
+    makespan: float
+    stage_finish_times: dict[int, float]
+
+    @property
+    def runtime(self) -> int:
+        """Run time in whole seconds (the skyline's duration)."""
+        return self.skyline.duration
+
+
+class ClusterExecutor:
+    """Executes stage graphs on a simulated token pool.
+
+    Parameters
+    ----------
+    cost_model:
+        Conversion from plan cost units to task seconds.
+    noise_scale:
+        Sigma of the lognormal per-task duration jitter. Zero gives a
+        fully deterministic execution.
+    straggler_rate, straggler_factor:
+        Probability that a task is a straggler and the factor by which its
+        duration is multiplied. Stragglers make skylines ragged and are a
+        major source of run-to-run variance on real clusters.
+    work_noise:
+        Sigma of a lognormal *per-execution* factor applied to every task
+        duration. Per-task jitter averages out over many tasks; this
+        global factor models day-to-day cluster conditions (data drift,
+        contention) and is what makes total token-seconds vary between
+        re-executions of the same job — the variance the paper's
+        area-conservation analysis (Figure 12) measures.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        noise_scale: float = 0.0,
+        straggler_rate: float = 0.0,
+        straggler_factor: float = 3.0,
+        work_noise: float = 0.0,
+    ) -> None:
+        if noise_scale < 0:
+            raise ExecutionError("noise scale must be non-negative")
+        if not 0 <= straggler_rate < 1:
+            raise ExecutionError("straggler rate must be in [0, 1)")
+        if straggler_factor < 1:
+            raise ExecutionError("straggler factor must be >= 1")
+        if work_noise < 0:
+            raise ExecutionError("work noise must be non-negative")
+        self.cost_model = cost_model or CostModel()
+        self.noise_scale = noise_scale
+        self.straggler_rate = straggler_rate
+        self.straggler_factor = straggler_factor
+        self.work_noise = work_noise
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        graph: StageGraph,
+        tokens: int,
+        rng: np.random.Generator | None = None,
+    ) -> ExecutionResult:
+        """Run ``graph`` with ``tokens`` guaranteed tokens.
+
+        Raises
+        ------
+        ExecutionError
+            If the token count is not a positive integer.
+        """
+        if tokens < 1:
+            raise ExecutionError("token allocation must be at least 1")
+        noisy = (
+            self.noise_scale > 0
+            or self.straggler_rate > 0
+            or self.work_noise > 0
+        )
+        if noisy and rng is None:
+            raise ExecutionError("an rng is required when noise is enabled")
+
+        durations = self._draw_durations(graph, rng)
+
+        pending_deps = {
+            sid: len(stage.dependencies) for sid, stage in graph.stages.items()
+        }
+        dependents: dict[int, list[int]] = {sid: [] for sid in graph.stages}
+        for sid, stage in graph.stages.items():
+            for dep in stage.dependencies:
+                dependents[dep].append(sid)
+
+        remaining_tasks = {
+            sid: stage.num_tasks for sid, stage in graph.stages.items()
+        }
+        next_task_index = {sid: 0 for sid in graph.stages}
+
+        # FIFO queue of ready stages, in topological order for determinism.
+        ready: deque[int] = deque(
+            sid for sid in graph.topological_order() if pending_deps[sid] == 0
+        )
+
+        free_tokens = tokens
+        clock = 0.0
+        # (finish_time, sequence, stage_id) — sequence breaks ties stably.
+        running: list[tuple[float, int, int]] = []
+        sequence = 0
+        intervals_start: list[float] = []
+        intervals_end: list[float] = []
+        stage_finish: dict[int, float] = {}
+
+        def start_tasks() -> None:
+            nonlocal free_tokens, sequence
+            while free_tokens > 0 and ready:
+                sid = ready[0]
+                index = next_task_index[sid]
+                duration = durations[sid][index]
+                next_task_index[sid] += 1
+                if next_task_index[sid] == graph.stages[sid].num_tasks:
+                    ready.popleft()
+                heapq.heappush(running, (clock + duration, sequence, sid))
+                sequence += 1
+                intervals_start.append(clock)
+                intervals_end.append(clock + duration)
+                free_tokens -= 1
+
+        start_tasks()
+        if not running:
+            raise ExecutionError(f"job {graph.job_id} has no runnable tasks")
+
+        while running:
+            finish_time, _seq, sid = heapq.heappop(running)
+            clock = finish_time
+            free_tokens += 1
+            remaining_tasks[sid] -= 1
+            if remaining_tasks[sid] == 0:
+                stage_finish[sid] = clock
+                for dependent in dependents[sid]:
+                    pending_deps[dependent] -= 1
+                    if pending_deps[dependent] == 0:
+                        ready.append(dependent)
+            start_tasks()
+
+        makespan = clock
+        skyline = _intervals_to_skyline(
+            np.asarray(intervals_start), np.asarray(intervals_end), makespan
+        )
+        return ExecutionResult(
+            job_id=graph.job_id,
+            tokens=tokens,
+            skyline=skyline,
+            makespan=makespan,
+            stage_finish_times=stage_finish,
+        )
+
+    # ------------------------------------------------------------------
+    def _draw_durations(
+        self, graph: StageGraph, rng: np.random.Generator | None
+    ) -> dict[int, np.ndarray]:
+        """Per-task durations for every stage (with jitter/stragglers)."""
+        durations: dict[int, np.ndarray] = {}
+        execution_factor = 1.0
+        if self.work_noise > 0:
+            assert rng is not None
+            execution_factor = float(rng.lognormal(0.0, self.work_noise))
+        for sid, stage in graph.stages.items():
+            nominal = stage.task_duration(self.cost_model)
+            values = np.full(stage.num_tasks, nominal)
+            if self.noise_scale > 0:
+                assert rng is not None
+                values = values * rng.lognormal(
+                    0.0, self.noise_scale, stage.num_tasks
+                )
+            if self.straggler_rate > 0:
+                assert rng is not None
+                stragglers = rng.random(stage.num_tasks) < self.straggler_rate
+                values = np.where(
+                    stragglers, values * self.straggler_factor, values
+                )
+            durations[sid] = values * execution_factor
+        return durations
+
+
+def _intervals_to_skyline(
+    starts: np.ndarray, ends: np.ndarray, makespan: float
+) -> Skyline:
+    """Exact average token usage per one-second bin.
+
+    The number of running tasks is a step function changing only at task
+    starts/ends; integrating it over each second gives the (possibly
+    fractional) average usage, which is the discretized skyline.
+    """
+    duration = max(1, int(np.ceil(makespan - 1e-9)))
+    events = np.concatenate([starts, ends])
+    deltas = np.concatenate(
+        [np.ones_like(starts), -np.ones_like(ends)]
+    )
+    order = np.argsort(events, kind="stable")
+    times = events[order]
+    counts = np.cumsum(deltas[order])
+
+    # Piecewise-constant usage: level counts[i] on [times[i], times[i+1]).
+    boundaries = np.concatenate([[0.0], times, [float(duration)]])
+    levels = np.concatenate([[0.0], counts])
+    widths = np.diff(boundaries)
+    # Cumulative integral of usage at each boundary.
+    integral = np.concatenate([[0.0], np.cumsum(levels * widths)])
+
+    # Integral evaluated at whole seconds via interpolation on the
+    # cumulative curve (piecewise linear in between boundaries).
+    seconds = np.arange(duration + 1, dtype=np.float64)
+    cumulative = np.interp(seconds, boundaries, integral)
+    usage = np.diff(cumulative)
+    usage = np.clip(usage, 0.0, None)
+    return Skyline(usage)

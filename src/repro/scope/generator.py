@@ -1,0 +1,445 @@
+"""Synthetic SCOPE-like workload generator.
+
+The paper trains on 85K production SCOPE jobs whose statistics are heavily
+right-skewed: run times from 33 seconds to 21 hours (median ~3 minutes),
+peak token usage from 1 to 6,287 (median 54). Those traces are proprietary,
+so this module generates a synthetic population with the same qualitative
+properties:
+
+* jobs are operator DAGs drawn from a TPC-H-flavoured grammar (scan ->
+  filter/project chains -> join tree -> aggregates -> sort/top -> output),
+* leaf input sizes and plan shapes are lognormally skewed, producing
+  right-skewed run-time and token distributions,
+* a configurable share of jobs is *recurring*: instances of a shared
+  template that differ only in input size (day-to-day data drift), the
+  rest are *ad-hoc* one-off plans — matching the 40-60% ad-hoc rate the
+  paper reports,
+* compile-time estimates (Table 1 features) are noisy versions of the true
+  costs the executor runs on, so learned models face realistic estimation
+  error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import PlanError
+from repro.scope.operators import PartitioningMethod
+from repro.scope.plan import OperatorNode, QueryPlan
+
+__all__ = ["WorkloadConfig", "JobInstance", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Tunable knobs of the workload population.
+
+    The defaults are calibrated so that, with the default
+    :class:`~repro.scope.stages.CostModel`, executing each job at its
+    requested tokens yields run-time and peak-token distributions shaped
+    like the paper's (right-skewed, median run time of a few minutes,
+    median peak tokens a few dozen).
+    """
+
+    #: Fraction of jobs instantiated from recurring templates.
+    recurring_fraction: float = 0.55
+    #: Number of distinct recurring templates in the population.
+    num_templates: int = 40
+    #: Lognormal parameters of leaf input cardinality (rows).
+    leaf_rows_log_mean: float = 14.3  # median ~1.6M rows
+    leaf_rows_log_sigma: float = 1.9
+    #: Day-to-day input-size drift of recurring jobs (lognormal sigma).
+    recurring_drift_sigma: float = 0.35
+    #: Lognormal sigma of compile-time cost estimation error.
+    estimation_error_sigma: float = 0.35
+    #: Rows handled per partition when choosing operator parallelism.
+    rows_per_partition: float = 60_000.0
+    #: Cap on any operator's partition count.
+    max_partitions: int = 6_400
+    #: Token counts users typically request (cluster defaults).
+    default_token_choices: tuple[int, ...] = (
+        25, 50, 100, 150, 200, 300, 600, 1500, 4000,
+    )
+    default_token_weights: tuple[float, ...] = (
+        0.08, 0.20, 0.30, 0.15, 0.12, 0.08, 0.04, 0.02, 0.01,
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.recurring_fraction <= 1:
+            raise PlanError("recurring_fraction must be in [0, 1]")
+        if self.num_templates < 1:
+            raise PlanError("need at least one template")
+        if len(self.default_token_choices) != len(self.default_token_weights):
+            raise PlanError("token choices and weights must align")
+
+
+@dataclass
+class JobInstance:
+    """A generated job: its plan plus submission metadata."""
+
+    plan: QueryPlan
+    requested_tokens: int
+    submit_day: int
+    recurring: bool
+
+    @property
+    def job_id(self) -> str:
+        return self.plan.job_id
+
+
+@dataclass
+class _TemplateSpec:
+    """Frozen random choices defining a recurring template."""
+
+    template_id: str
+    num_inputs: int
+    base_leaf_rows: tuple[float, ...]
+    join_kinds: tuple[str, ...]
+    chain_plan: tuple[tuple[str, ...], ...]  # unary chain per input
+    post_ops: tuple[str, ...]
+    structure_seed: int = 0
+    requested_tokens: int = 100
+
+
+_JOIN_KINDS = (
+    "HashJoin",
+    "MergeJoin",
+    "BroadcastJoin",
+    "SemiJoin",
+    "NestedLoopJoin",
+    "AntiSemiJoin",
+    "UnionAll",
+)
+_JOIN_WEIGHTS = (0.35, 0.2, 0.15, 0.1, 0.05, 0.05, 0.1)
+_SOURCE_KINDS = ("Extract", "TableScan", "IndexScan", "ExternalRead")
+_SOURCE_WEIGHTS = (0.45, 0.3, 0.15, 0.1)
+_CHAIN_KINDS = ("Filter", "RangeFilter", "Project", "ComputeScalar", "ProcessUDO")
+_CHAIN_WEIGHTS = (0.35, 0.15, 0.25, 0.15, 0.1)
+_POST_KINDS = (
+    "HashAggregate",
+    "StreamAggregate",
+    "LocalHashAggregate",
+    "WindowFunction",
+    "ReduceUDO",
+    "Sort",
+    "TopSort",
+    "Top",
+)
+_POST_WEIGHTS = (0.25, 0.1, 0.1, 0.1, 0.1, 0.15, 0.1, 0.1)
+
+
+class WorkloadGenerator:
+    """Seeded generator of :class:`JobInstance` populations."""
+
+    def __init__(self, config: WorkloadConfig | None = None, seed: int = 0) -> None:
+        self.config = config or WorkloadConfig()
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._templates = [
+            self._draw_template(f"T{i:03d}")
+            for i in range(self.config.num_templates)
+        ]
+        self._job_counter = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self, num_jobs: int, start_day: int = 0) -> list[JobInstance]:
+        """Generate a workload of ``num_jobs`` jobs.
+
+        Jobs are spread uniformly over submission days starting at
+        ``start_day`` (one "day" per ~1000 jobs, so small workloads land on
+        a single day).
+        """
+        if num_jobs < 1:
+            raise PlanError("num_jobs must be positive")
+        jobs = []
+        num_days = max(1, num_jobs // 1000)
+        for i in range(num_jobs):
+            day = start_day + (i * num_days) // num_jobs
+            jobs.append(self.generate_job(day))
+        return jobs
+
+    def generate_job(self, submit_day: int = 0) -> JobInstance:
+        """Generate a single job (recurring with configured probability)."""
+        recurring = self._rng.random() < self.config.recurring_fraction
+        if recurring:
+            template = self._templates[
+                int(self._rng.integers(len(self._templates)))
+            ]
+            return self._instantiate(template, submit_day, recurring=True)
+        template = self._draw_template(f"A{self._job_counter:06d}")
+        return self._instantiate(template, submit_day, recurring=False)
+
+    # ------------------------------------------------------------------
+    # template construction
+    # ------------------------------------------------------------------
+    def _draw_template(self, template_id: str) -> _TemplateSpec:
+        rng = self._rng
+        cfg = self.config
+        num_inputs = int(rng.choice([1, 2, 2, 3, 3, 4, 5]))
+        base_leaf_rows = tuple(
+            float(
+                np.exp(
+                    rng.normal(cfg.leaf_rows_log_mean, cfg.leaf_rows_log_sigma)
+                )
+            )
+            for _ in range(num_inputs)
+        )
+        join_kinds = tuple(
+            str(rng.choice(_JOIN_KINDS, p=_JOIN_WEIGHTS))
+            for _ in range(num_inputs - 1)
+        )
+        chains = []
+        for _ in range(num_inputs):
+            length = int(rng.integers(0, 4))
+            chains.append(
+                tuple(
+                    str(rng.choice(_CHAIN_KINDS, p=_CHAIN_WEIGHTS))
+                    for _ in range(length)
+                )
+            )
+        num_post = int(rng.integers(1, 4))
+        post_ops = tuple(
+            str(rng.choice(_POST_KINDS, p=_POST_WEIGHTS)) for _ in range(num_post)
+        )
+        tokens = int(
+            rng.choice(cfg.default_token_choices, p=cfg.default_token_weights)
+        )
+        return _TemplateSpec(
+            template_id=template_id,
+            num_inputs=num_inputs,
+            base_leaf_rows=base_leaf_rows,
+            join_kinds=join_kinds,
+            chain_plan=tuple(chains),
+            post_ops=post_ops,
+            structure_seed=int(rng.integers(0, 2**31)),
+            requested_tokens=tokens,
+        )
+
+    # ------------------------------------------------------------------
+    # template instantiation
+    # ------------------------------------------------------------------
+    def _instantiate(
+        self, template: _TemplateSpec, submit_day: int, recurring: bool
+    ) -> JobInstance:
+        rng = self._rng
+        cfg = self.config
+        self._job_counter += 1
+        job_id = f"job-{self._seed}-{self._job_counter:06d}"
+
+        # Structural choices (operator variants, selectivities, widths) are
+        # frozen per template so recurring instances share one plan shape;
+        # only input sizes and estimation noise vary run to run.
+        struct_rng = np.random.default_rng(template.structure_seed)
+        builder = _PlanBuilder(struct_rng, rng, cfg)
+        drift = (
+            np.exp(rng.normal(0.0, cfg.recurring_drift_sigma))
+            if recurring
+            else 1.0
+        )
+
+        # One source + unary chain per input.
+        input_heads = []
+        for leaf_rows, chain in zip(template.base_leaf_rows, template.chain_plan):
+            rows = max(1.0, leaf_rows * drift)
+            node_id = builder.add_source(rows)
+            for kind in chain:
+                node_id = builder.add_unary(kind, node_id)
+            input_heads.append(node_id)
+
+        # Left-deep join tree with exchanges before each join.
+        current = input_heads[0]
+        for head, join_kind in zip(input_heads[1:], template.join_kinds):
+            left = builder.add_exchange(current)
+            right = builder.add_exchange(head)
+            current = builder.add_binary(join_kind, left, right)
+
+        # Post-processing block (aggregates/sorts/windows).
+        for kind in template.post_ops:
+            if kind in ("HashAggregate", "StreamAggregate", "Sort", "TopSort"):
+                current = builder.add_exchange(current)
+            current = builder.add_unary(kind, current)
+
+        current = builder.add_unary("Output", current)
+
+        plan = QueryPlan(
+            job_id=job_id,
+            nodes=builder.nodes,
+            template_id=template.template_id,
+        )
+        return JobInstance(
+            plan=plan,
+            requested_tokens=template.requested_tokens,
+            submit_day=submit_day,
+            recurring=recurring,
+        )
+
+
+class _PlanBuilder:
+    """Incrementally builds operator nodes with propagated estimates.
+
+    ``rng`` drives structural choices (frozen per template); ``noise_rng``
+    drives per-instance estimation error.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        noise_rng: np.random.Generator,
+        config: WorkloadConfig,
+    ) -> None:
+        self.rng = rng
+        self.noise_rng = noise_rng
+        self.config = config
+        self.nodes: dict[int, OperatorNode] = {}
+        self._next_id = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id - 1
+
+    def _partitions_for(self, rows: float) -> int:
+        cfg = self.config
+        return int(
+            np.clip(np.ceil(rows / cfg.rows_per_partition), 1, cfg.max_partitions)
+        )
+
+    def _estimation_noise(self) -> float:
+        sigma = self.config.estimation_error_sigma
+        if sigma <= 0:
+            return 1.0
+        return float(np.exp(self.noise_rng.normal(0.0, sigma)))
+
+    def _finalize(self, node: OperatorNode) -> int:
+        """Derive cost fields and register the node.
+
+        True cost is computed from true input rows; the Table 1 estimate
+        fields get multiplicative lognormal noise on top.
+        """
+        spec = node.spec
+        if spec.arity == 0:
+            work_rows = node.output_cardinality
+            subtree_children = 0.0
+        else:
+            work_rows = node.children_input_cardinality
+            subtree_children = sum(
+                self.nodes[c].cost_subtree for c in node.children
+            )
+        row_factor = max(0.25, node.average_row_length / 100.0)
+        true_cost = max(1.0, work_rows * spec.cost_per_row * row_factor)
+        noise = self._estimation_noise()
+        node.true_cost = true_cost
+        node.cost_exclusive = true_cost * noise
+        node.cost_subtree = node.cost_exclusive + subtree_children
+        # "Total" mirrors SQL-Server-style total operator cost: exclusive
+        # CPU plus an IO-ish term proportional to output bytes.
+        node.cost_total = node.cost_exclusive + (
+            node.output_cardinality * node.average_row_length * 1e-3
+        )
+        self.nodes[node.op_id] = node
+        return node.op_id
+
+    # -- node constructors -------------------------------------------------
+    def add_source(self, rows: float) -> int:
+        kind = str(self.rng.choice(_SOURCE_KINDS, p=_SOURCE_WEIGHTS))
+        row_length = float(np.exp(self.rng.normal(4.6, 0.5)))  # ~100 bytes
+        node = OperatorNode(
+            op_id=self._new_id(),
+            kind=kind,
+            children=(),
+            output_cardinality=rows,
+            leaf_input_cardinality=rows,
+            children_input_cardinality=0.0,
+            average_row_length=row_length,
+            num_partitions=self._partitions_for(rows),
+        )
+        return self._finalize(node)
+
+    def add_unary(self, kind: str, child_id: int) -> int:
+        child = self.nodes[child_id]
+        spec_low, spec_high = child.spec.selectivity
+        del spec_low, spec_high  # child's range is irrelevant here
+        node = OperatorNode(
+            op_id=self._new_id(),
+            kind=kind,
+            children=(child_id,),
+            average_row_length=child.average_row_length,
+            num_partitions=child.num_partitions,
+        )
+        low, high = node.spec.selectivity
+        selectivity = float(self.rng.uniform(low, high))
+        node.children_input_cardinality = child.output_cardinality
+        node.leaf_input_cardinality = child.leaf_input_cardinality
+        node.output_cardinality = max(1.0, child.output_cardinality * selectivity)
+        if kind in ("Sort", "TopSort"):
+            node.num_sort_columns = int(self.rng.integers(1, 4))
+        if kind == "Project":
+            node.average_row_length = child.average_row_length * float(
+                self.rng.uniform(0.3, 0.9)
+            )
+        return self._finalize(node)
+
+    def add_exchange(self, child_id: int) -> int:
+        child = self.nodes[child_id]
+        kind = str(
+            self.rng.choice(
+                ["PartitionExchange", "FullMergeExchange", "BroadcastExchange"],
+                p=[0.7, 0.2, 0.1],
+            )
+        )
+        method = {
+            "PartitionExchange": PartitioningMethod.HASH,
+            "FullMergeExchange": PartitioningMethod.RANGE,
+            "BroadcastExchange": PartitioningMethod.BROADCAST,
+        }[kind]
+        if self.rng.random() < 0.15:
+            method = PartitioningMethod.ROUND_ROBIN
+        node = OperatorNode(
+            op_id=self._new_id(),
+            kind=kind,
+            children=(child_id,),
+            partitioning=method,
+            output_cardinality=child.output_cardinality,
+            leaf_input_cardinality=child.leaf_input_cardinality,
+            children_input_cardinality=child.output_cardinality,
+            average_row_length=child.average_row_length,
+            num_partitions=self._partitions_for(child.output_cardinality),
+            num_partitioning_columns=int(self.rng.integers(1, 4)),
+        )
+        return self._finalize(node)
+
+    def add_binary(self, kind: str, left_id: int, right_id: int) -> int:
+        left = self.nodes[left_id]
+        right = self.nodes[right_id]
+        node = OperatorNode(
+            op_id=self._new_id(),
+            kind=kind,
+            children=(left_id, right_id),
+            average_row_length=(left.average_row_length + right.average_row_length)
+            / 2.0,
+            num_partitions=max(left.num_partitions, right.num_partitions),
+            num_partitioning_columns=int(self.rng.integers(1, 3)),
+        )
+        low, high = node.spec.selectivity
+        selectivity = float(self.rng.uniform(low, high))
+        node.children_input_cardinality = (
+            left.output_cardinality + right.output_cardinality
+        )
+        node.leaf_input_cardinality = (
+            left.leaf_input_cardinality + right.leaf_input_cardinality
+        )
+        if kind == "UnionAll":
+            node.output_cardinality = node.children_input_cardinality
+        else:
+            node.output_cardinality = max(
+                1.0,
+                max(left.output_cardinality, right.output_cardinality)
+                * selectivity,
+            )
+        if kind == "MergeJoin":
+            node.num_sort_columns = int(self.rng.integers(1, 3))
+        return self._finalize(node)

@@ -1,0 +1,180 @@
+"""Physical operator catalogue for the SCOPE-like substrate.
+
+The paper featurizes jobs with 35 physical operators and 4 partitioning
+methods (Table 1, citing Zhou et al. for the operator descriptions). We
+reproduce that schema with a catalogue of 35 operator kinds, each carrying
+the metadata the plan generator and cost model need:
+
+* ``arity`` — number of child inputs (0 for sources, 1 unary, 2 binary),
+* ``category`` — coarse role used by the generator's grammar,
+* ``cost_per_row`` — relative CPU cost per input row,
+* ``selectivity`` — default output/input cardinality ratio range,
+* ``blocking`` — True if the operator must consume its whole input before
+  producing output (stage boundary in the execution model),
+* ``exchange`` — True if the operator repartitions data across the cluster
+  (always a stage boundary and the place partitioning methods apply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "OperatorCategory",
+    "PartitioningMethod",
+    "OperatorSpec",
+    "OPERATOR_CATALOG",
+    "OPERATOR_NAMES",
+    "PARTITIONING_METHODS",
+    "NUM_OPERATOR_KINDS",
+    "NUM_PARTITIONING_METHODS",
+]
+
+
+class OperatorCategory(Enum):
+    """Coarse operator roles used by the plan grammar."""
+
+    SOURCE = "source"
+    FILTERING = "filtering"
+    PROJECTION = "projection"
+    JOIN = "join"
+    AGGREGATE = "aggregate"
+    SORT = "sort"
+    SET = "set"
+    EXCHANGE = "exchange"
+    WINDOW = "window"
+    UDO = "udo"
+    OUTPUT = "output"
+    MISC = "misc"
+
+
+class PartitioningMethod(Enum):
+    """The four partitioning methods of Table 1."""
+
+    HASH = "hash"
+    RANGE = "range"
+    ROUND_ROBIN = "round_robin"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Static description of one physical operator kind."""
+
+    name: str
+    arity: int
+    category: OperatorCategory
+    cost_per_row: float
+    selectivity: tuple[float, float]
+    blocking: bool = False
+    exchange: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arity not in (0, 1, 2):
+            raise ValueError(f"operator arity must be 0, 1 or 2: {self.name}")
+        low, high = self.selectivity
+        if not 0 < low <= high:
+            raise ValueError(f"invalid selectivity range for {self.name}")
+
+
+def _spec(
+    name: str,
+    arity: int,
+    category: OperatorCategory,
+    cost_per_row: float,
+    selectivity: tuple[float, float],
+    blocking: bool = False,
+    exchange: bool = False,
+) -> OperatorSpec:
+    return OperatorSpec(
+        name=name,
+        arity=arity,
+        category=category,
+        cost_per_row=cost_per_row,
+        selectivity=selectivity,
+        blocking=blocking,
+        exchange=exchange,
+    )
+
+
+#: The 35 physical operators. Names follow the SCOPE operator vocabulary of
+#: Zhou et al. (UDO = user-defined operator).
+OPERATOR_CATALOG: dict[str, OperatorSpec] = {
+    spec.name: spec
+    for spec in [
+        # -- sources ------------------------------------------------------
+        _spec("Extract", 0, OperatorCategory.SOURCE, 1.0, (1.0, 1.0)),
+        _spec("TableScan", 0, OperatorCategory.SOURCE, 0.8, (1.0, 1.0)),
+        _spec("IndexScan", 0, OperatorCategory.SOURCE, 0.5, (1.0, 1.0)),
+        _spec("ExternalRead", 0, OperatorCategory.SOURCE, 1.5, (1.0, 1.0)),
+        # -- filtering / projection ---------------------------------------
+        _spec("Filter", 1, OperatorCategory.FILTERING, 0.2, (0.05, 0.9)),
+        _spec("RangeFilter", 1, OperatorCategory.FILTERING, 0.2, (0.1, 0.6)),
+        _spec("Project", 1, OperatorCategory.PROJECTION, 0.1, (1.0, 1.0)),
+        _spec("ComputeScalar", 1, OperatorCategory.PROJECTION, 0.3, (1.0, 1.0)),
+        _spec("SequenceProject", 1, OperatorCategory.PROJECTION, 0.4, (1.0, 1.0)),
+        # -- joins ----------------------------------------------------------
+        _spec("HashJoin", 2, OperatorCategory.JOIN, 1.2, (0.1, 2.0), blocking=True),
+        _spec("MergeJoin", 2, OperatorCategory.JOIN, 0.9, (0.1, 2.0)),
+        _spec("NestedLoopJoin", 2, OperatorCategory.JOIN, 3.0, (0.05, 1.5)),
+        _spec("BroadcastJoin", 2, OperatorCategory.JOIN, 1.0, (0.1, 2.0)),
+        _spec("SemiJoin", 2, OperatorCategory.JOIN, 0.8, (0.05, 0.8)),
+        _spec("AntiSemiJoin", 2, OperatorCategory.JOIN, 0.8, (0.05, 0.8)),
+        _spec("CrossJoin", 2, OperatorCategory.JOIN, 5.0, (1.0, 3.0)),
+        # -- aggregates -----------------------------------------------------
+        _spec(
+            "HashAggregate", 1, OperatorCategory.AGGREGATE, 1.0, (0.001, 0.3),
+            blocking=True,
+        ),
+        _spec("StreamAggregate", 1, OperatorCategory.AGGREGATE, 0.6, (0.001, 0.3)),
+        _spec(
+            "LocalHashAggregate", 1, OperatorCategory.AGGREGATE, 0.8, (0.01, 0.5),
+            blocking=True,
+        ),
+        _spec("LocalStreamAggregate", 1, OperatorCategory.AGGREGATE, 0.5, (0.01, 0.5)),
+        # -- sorting / limiting ---------------------------------------------
+        _spec("Sort", 1, OperatorCategory.SORT, 1.5, (1.0, 1.0), blocking=True),
+        _spec("TopSort", 1, OperatorCategory.SORT, 1.2, (0.001, 0.1), blocking=True),
+        _spec("Top", 1, OperatorCategory.SORT, 0.1, (0.001, 0.1)),
+        # -- set operations -------------------------------------------------
+        _spec("UnionAll", 2, OperatorCategory.SET, 0.1, (1.0, 2.0)),
+        _spec("Union", 2, OperatorCategory.SET, 0.7, (0.5, 1.5), blocking=True),
+        _spec("Intersect", 2, OperatorCategory.SET, 0.7, (0.05, 0.5), blocking=True),
+        _spec("Except", 2, OperatorCategory.SET, 0.7, (0.1, 0.8), blocking=True),
+        # -- exchanges ------------------------------------------------------
+        _spec(
+            "PartitionExchange", 1, OperatorCategory.EXCHANGE, 0.4, (1.0, 1.0),
+            exchange=True,
+        ),
+        _spec(
+            "FullMergeExchange", 1, OperatorCategory.EXCHANGE, 0.5, (1.0, 1.0),
+            exchange=True,
+        ),
+        _spec(
+            "BroadcastExchange", 1, OperatorCategory.EXCHANGE, 0.6, (1.0, 1.0),
+            exchange=True,
+        ),
+        # -- window / UDO / output ------------------------------------------
+        _spec("WindowFunction", 1, OperatorCategory.WINDOW, 1.1, (1.0, 1.0)),
+        _spec("ProcessUDO", 1, OperatorCategory.UDO, 2.0, (0.2, 2.0)),
+        _spec("ReduceUDO", 1, OperatorCategory.UDO, 2.5, (0.01, 1.0), blocking=True),
+        _spec("CombineUDO", 2, OperatorCategory.UDO, 2.5, (0.1, 1.5), blocking=True),
+        _spec("Output", 1, OperatorCategory.OUTPUT, 0.6, (1.0, 1.0)),
+    ]
+}
+
+#: Fixed, deterministic operator name order used for one-hot encoding.
+OPERATOR_NAMES: tuple[str, ...] = tuple(OPERATOR_CATALOG)
+
+#: Fixed partitioning method order used for one-hot encoding.
+PARTITIONING_METHODS: tuple[PartitioningMethod, ...] = tuple(PartitioningMethod)
+
+NUM_OPERATOR_KINDS = len(OPERATOR_NAMES)
+NUM_PARTITIONING_METHODS = len(PARTITIONING_METHODS)
+
+if NUM_OPERATOR_KINDS != 35:
+    raise AssertionError(
+        f"operator catalogue must contain 35 operators (Table 1), "
+        f"found {NUM_OPERATOR_KINDS}"
+    )

@@ -1,0 +1,223 @@
+"""Query plan DAGs with compile-time estimates.
+
+A SCOPE job is a directed acyclic graph of physical operators (Section 2).
+:class:`OperatorNode` carries exactly the compile-time features of Table 1:
+
+* continuous — estimated cardinalities (output / leaf input / children
+  input), average row length, and estimated costs (subtree / operator
+  exclusive / total),
+* discrete — number of partitions, partitioning columns, sort columns,
+* categorical — the physical operator kind and partitioning method.
+
+:class:`QueryPlan` validates the DAG, exposes topological order, the
+adjacency matrix the GNN consumes, and simple structural statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import PlanError
+from repro.scope.operators import (
+    OPERATOR_CATALOG,
+    OperatorSpec,
+    PartitioningMethod,
+)
+
+__all__ = ["OperatorNode", "QueryPlan"]
+
+
+@dataclass
+class OperatorNode:
+    """One physical operator instance in a query plan.
+
+    ``children`` holds the ids of operators feeding this one (data flows
+    child -> parent; sources have no children, the sink has no parent).
+    """
+
+    op_id: int
+    kind: str
+    children: tuple[int, ...] = ()
+    partitioning: PartitioningMethod = PartitioningMethod.ROUND_ROBIN
+    # Table 1 continuous features (all compile-time *estimates*).
+    output_cardinality: float = 0.0
+    leaf_input_cardinality: float = 0.0
+    children_input_cardinality: float = 0.0
+    average_row_length: float = 0.0
+    cost_subtree: float = 0.0
+    cost_exclusive: float = 0.0
+    cost_total: float = 0.0
+    # Table 1 discrete features.
+    num_partitions: int = 1
+    num_partitioning_columns: int = 0
+    num_sort_columns: int = 0
+    # Hidden ground truth: the operator's *actual* work in cost units.
+    # Compile-time estimates (the fields above) are noisy versions of this;
+    # the executor runs on true cost, the models only ever see estimates.
+    # Zero means "use the estimate" (no estimation error).
+    true_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OPERATOR_CATALOG:
+            raise PlanError(f"unknown operator kind: {self.kind!r}")
+        if self.num_partitions < 1:
+            raise PlanError("operators must have at least one partition")
+
+    @property
+    def spec(self) -> OperatorSpec:
+        """The static catalogue entry for this operator's kind."""
+        return OPERATOR_CATALOG[self.kind]
+
+    @property
+    def is_source(self) -> bool:
+        return self.spec.arity == 0
+
+    @property
+    def starts_new_stage(self) -> bool:
+        """True if this operator begins a new execution stage.
+
+        Exchanges always repartition (network boundary); blocking
+        operators must materialise their input first. Both break the
+        pipelined stage in SCOPE-like engines.
+        """
+        return self.spec.exchange or self.spec.blocking
+
+
+@dataclass
+class QueryPlan:
+    """A validated DAG of :class:`OperatorNode` objects.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier of the job this plan belongs to.
+    nodes:
+        Operators keyed by ``op_id``; edges are implied by each node's
+        ``children`` tuple.
+    template_id:
+        Identifier of the generator template the job was instantiated
+        from. Recurring jobs share a template; ad-hoc jobs get a unique
+        one. Used only for job grouping/selection, never as a model
+        feature (TASQ's global model must cover unseen jobs).
+    """
+
+    job_id: str
+    nodes: dict[int, OperatorNode]
+    template_id: str = "adhoc"
+    _topo_order: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise PlanError("query plan must contain at least one operator")
+        for node in self.nodes.values():
+            expected = node.spec.arity
+            if len(node.children) != expected:
+                raise PlanError(
+                    f"operator {node.op_id} ({node.kind}) expects {expected} "
+                    f"children, has {len(node.children)}"
+                )
+            for child in node.children:
+                if child not in self.nodes:
+                    raise PlanError(
+                        f"operator {node.op_id} references missing child {child}"
+                    )
+        self._topo_order = self._topological_order()
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def _topological_order(self) -> list[int]:
+        """Children-before-parents order; raises on cycles."""
+        in_degree = {op_id: 0 for op_id in self.nodes}
+        parents: dict[int, list[int]] = {op_id: [] for op_id in self.nodes}
+        for node in self.nodes.values():
+            for child in node.children:
+                parents[child].append(node.op_id)
+                in_degree[node.op_id] += 1
+
+        ready = sorted(op_id for op_id, deg in in_degree.items() if deg == 0)
+        order: list[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for parent in parents[current]:
+                in_degree[parent] -= 1
+                if in_degree[parent] == 0:
+                    ready.append(parent)
+        if len(order) != len(self.nodes):
+            raise PlanError("query plan contains a cycle")
+        return order
+
+    @property
+    def topological_order(self) -> list[int]:
+        """Operator ids, children before parents."""
+        return list(self._topo_order)
+
+    @property
+    def num_operators(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def sources(self) -> list[OperatorNode]:
+        """Leaf operators (Extract/TableScan/... with no children)."""
+        return [n for n in self.nodes.values() if n.is_source]
+
+    @property
+    def sinks(self) -> list[OperatorNode]:
+        """Operators no other operator consumes (normally one Output)."""
+        consumed = {c for n in self.nodes.values() for c in n.children}
+        return [n for n in self.nodes.values() if n.op_id not in consumed]
+
+    @property
+    def num_stages(self) -> int:
+        """Number of execution stages (see :mod:`repro.scope.stages`)."""
+        return 1 + sum(
+            1
+            for n in self.nodes.values()
+            if n.starts_new_stage and not n.is_source
+        )
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense adjacency matrix over topological node order.
+
+        ``A[i, j] = 1`` if the data of node ``i`` flows into node ``j``
+        (child -> parent edges). Row/column order matches
+        :attr:`topological_order`, the same order used for the GNN's
+        feature matrix.
+        """
+        index = {op_id: i for i, op_id in enumerate(self._topo_order)}
+        matrix = np.zeros((len(index), len(index)), dtype=np.float64)
+        for node in self.nodes.values():
+            for child in node.children:
+                matrix[index[child], index[node.op_id]] = 1.0
+        return matrix
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (child, parent) edges."""
+        return [
+            (child, node.op_id)
+            for node in self.nodes.values()
+            for child in node.children
+        ]
+
+    # ------------------------------------------------------------------
+    # aggregate estimates
+    # ------------------------------------------------------------------
+    @property
+    def total_cost(self) -> float:
+        """Sum of exclusive operator costs (the plan's total work estimate)."""
+        return float(sum(n.cost_exclusive for n in self.nodes.values()))
+
+    @property
+    def total_input_cardinality(self) -> float:
+        """Total estimated rows read at the leaves."""
+        return float(sum(n.output_cardinality for n in self.sources))
+
+    def operator_counts(self) -> dict[str, int]:
+        """Histogram of operator kinds (used by the categorical features)."""
+        counts: dict[str, int] = {}
+        for node in self.nodes.values():
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts

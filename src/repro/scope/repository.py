@@ -1,0 +1,137 @@
+"""Historical job repository and telemetry records.
+
+Stands in for the Cosmos job repository in Figure 4: after a job executes,
+its plan, requested tokens, skyline, and run time are recorded. The TASQ
+training pipeline ingests these records; the flighting harness re-executes
+selected records at other allocations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.scope.execution import ClusterExecutor
+from repro.scope.generator import JobInstance
+from repro.scope.plan import QueryPlan
+from repro.scope.stages import StageGraph, decompose_stages
+from repro.skyline.skyline import Skyline
+
+__all__ = ["TelemetryRecord", "JobRepository", "run_workload"]
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """Everything the platform knows about one historical job execution."""
+
+    job_id: str
+    plan: QueryPlan
+    requested_tokens: int
+    skyline: Skyline
+    submit_day: int
+    recurring: bool
+
+    @property
+    def runtime(self) -> int:
+        """Observed run time in seconds."""
+        return self.skyline.duration
+
+    @property
+    def peak_tokens(self) -> float:
+        """Peak token usage observed during the run."""
+        return self.skyline.peak
+
+    @property
+    def template_id(self) -> str:
+        return self.plan.template_id
+
+
+class JobRepository:
+    """In-memory store of :class:`TelemetryRecord` objects."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, TelemetryRecord] = {}
+
+    def add(self, record: TelemetryRecord) -> None:
+        if record.job_id in self._records:
+            raise ExecutionError(f"duplicate job id: {record.job_id}")
+        self._records[record.job_id] = record
+
+    def get(self, job_id: str) -> TelemetryRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise ExecutionError(f"unknown job id: {job_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TelemetryRecord]:
+        return iter(self._records.values())
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._records
+
+    def records(
+        self, predicate: Callable[[TelemetryRecord], bool] | None = None
+    ) -> list[TelemetryRecord]:
+        """All records, optionally filtered by ``predicate``."""
+        if predicate is None:
+            return list(self._records.values())
+        return [r for r in self._records.values() if predicate(r)]
+
+    def by_day(self, first_day: int, last_day: int) -> list[TelemetryRecord]:
+        """Records submitted in the inclusive day range."""
+        return self.records(lambda r: first_day <= r.submit_day <= last_day)
+
+    def runtime_statistics(self) -> dict[str, float]:
+        """Workload-level run time / peak token summary (Section 5 stats)."""
+        if not self._records:
+            raise ExecutionError("repository is empty")
+        runtimes = np.array([r.runtime for r in self._records.values()])
+        peaks = np.array([r.peak_tokens for r in self._records.values()])
+        return {
+            "jobs": float(len(runtimes)),
+            "runtime_min": float(runtimes.min()),
+            "runtime_median": float(np.median(runtimes)),
+            "runtime_mean": float(runtimes.mean()),
+            "runtime_max": float(runtimes.max()),
+            "peak_tokens_min": float(peaks.min()),
+            "peak_tokens_median": float(np.median(peaks)),
+            "peak_tokens_mean": float(peaks.mean()),
+            "peak_tokens_max": float(peaks.max()),
+        }
+
+
+def run_workload(
+    jobs: list[JobInstance],
+    executor: ClusterExecutor | None = None,
+    seed: int = 0,
+) -> JobRepository:
+    """Execute every job at its requested tokens and record the telemetry.
+
+    This is the "history builder": it plays the role of months of
+    production activity, populating the repository the TASQ pipeline
+    trains on. Each execution gets its own deterministic rng stream.
+    """
+    executor = executor or ClusterExecutor(noise_scale=0.08, straggler_rate=0.02)
+    repository = JobRepository()
+    root = np.random.default_rng(seed)
+    for job in jobs:
+        rng = np.random.default_rng(root.integers(0, 2**63))
+        graph: StageGraph = decompose_stages(job.plan)
+        result = executor.execute(graph, job.requested_tokens, rng=rng)
+        repository.add(
+            TelemetryRecord(
+                job_id=job.job_id,
+                plan=job.plan,
+                requested_tokens=job.requested_tokens,
+                skyline=result.skyline,
+                submit_day=job.submit_day,
+                recurring=job.recurring,
+            )
+        )
+    return repository

@@ -1,0 +1,136 @@
+"""Repository persistence.
+
+The production TASQ pipeline keeps historical telemetry in Azure Data
+Lake Storage; the in-process equivalent is a single compressed ``.npz``
+file holding every record's skyline plus a JSON metadata blob with the
+plans. Useful for caching generated workloads between benchmark runs and
+for the command-line interface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.scope.operators import PartitioningMethod
+from repro.scope.plan import OperatorNode, QueryPlan
+from repro.scope.repository import JobRepository, TelemetryRecord
+from repro.skyline.skyline import Skyline
+
+__all__ = ["save_repository", "load_repository"]
+
+_FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: OperatorNode) -> dict:
+    return {
+        "op_id": node.op_id,
+        "kind": node.kind,
+        "children": list(node.children),
+        "partitioning": node.partitioning.value,
+        "output_cardinality": node.output_cardinality,
+        "leaf_input_cardinality": node.leaf_input_cardinality,
+        "children_input_cardinality": node.children_input_cardinality,
+        "average_row_length": node.average_row_length,
+        "cost_subtree": node.cost_subtree,
+        "cost_exclusive": node.cost_exclusive,
+        "cost_total": node.cost_total,
+        "num_partitions": node.num_partitions,
+        "num_partitioning_columns": node.num_partitioning_columns,
+        "num_sort_columns": node.num_sort_columns,
+        "true_cost": node.true_cost,
+    }
+
+
+def _node_from_dict(data: dict) -> OperatorNode:
+    return OperatorNode(
+        op_id=int(data["op_id"]),
+        kind=data["kind"],
+        children=tuple(int(c) for c in data["children"]),
+        partitioning=PartitioningMethod(data["partitioning"]),
+        output_cardinality=float(data["output_cardinality"]),
+        leaf_input_cardinality=float(data["leaf_input_cardinality"]),
+        children_input_cardinality=float(data["children_input_cardinality"]),
+        average_row_length=float(data["average_row_length"]),
+        cost_subtree=float(data["cost_subtree"]),
+        cost_exclusive=float(data["cost_exclusive"]),
+        cost_total=float(data["cost_total"]),
+        num_partitions=int(data["num_partitions"]),
+        num_partitioning_columns=int(data["num_partitioning_columns"]),
+        num_sort_columns=int(data["num_sort_columns"]),
+        true_cost=float(data["true_cost"]),
+    )
+
+
+def save_repository(repository: JobRepository, path: str | Path) -> Path:
+    """Write a repository to a compressed ``.npz`` file.
+
+    Returns the path written (``.npz`` is appended if missing).
+    """
+    records = repository.records()
+    if not records:
+        raise ExecutionError("refusing to save an empty repository")
+
+    metadata = []
+    arrays: dict[str, np.ndarray] = {}
+    for index, record in enumerate(records):
+        metadata.append(
+            {
+                "job_id": record.job_id,
+                "template_id": record.plan.template_id,
+                "requested_tokens": record.requested_tokens,
+                "submit_day": record.submit_day,
+                "recurring": record.recurring,
+                "nodes": [
+                    _node_to_dict(node) for node in record.plan.nodes.values()
+                ],
+            }
+        )
+        arrays[f"skyline_{index}"] = record.skyline.usage
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload = json.dumps({"version": _FORMAT_VERSION, "records": metadata})
+    np.savez_compressed(
+        path, _metadata=np.array(payload), **arrays
+    )
+    return path
+
+
+def load_repository(path: str | Path) -> JobRepository:
+    """Load a repository previously written by :func:`save_repository`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExecutionError(f"no repository file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        payload = json.loads(str(data["_metadata"]))
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ExecutionError(
+                f"unsupported repository format: {payload.get('version')}"
+            )
+        repository = JobRepository()
+        for index, meta in enumerate(payload["records"]):
+            nodes = {
+                int(node["op_id"]): _node_from_dict(node)
+                for node in meta["nodes"]
+            }
+            plan = QueryPlan(
+                job_id=meta["job_id"],
+                nodes=nodes,
+                template_id=meta["template_id"],
+            )
+            repository.add(
+                TelemetryRecord(
+                    job_id=meta["job_id"],
+                    plan=plan,
+                    requested_tokens=int(meta["requested_tokens"]),
+                    skyline=Skyline(data[f"skyline_{index}"]),
+                    submit_day=int(meta["submit_day"]),
+                    recurring=bool(meta["recurring"]),
+                )
+            )
+    return repository

@@ -1,0 +1,41 @@
+"""Structural job signatures.
+
+AutoToken (Sen et al., §6.2) groups *recurring* SCOPE jobs by signature —
+a normalised identifier that is stable across daily instances of the same
+pipeline but differs between pipelines. Our substrate's equivalent is a
+hash of the plan's *structure*: operator kinds and the DAG wiring, but
+none of the cardinality/cost estimates (which drift day to day).
+
+Recurring instances generated from one template share a signature by
+construction (template structure is frozen; only input sizes drift), and
+ad-hoc jobs effectively get unique signatures — matching the paper's
+40-60% ad-hoc rate that AutoToken cannot cover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.scope.plan import QueryPlan
+
+__all__ = ["plan_signature"]
+
+
+def plan_signature(plan: QueryPlan) -> str:
+    """A drift-invariant structural hash of a query plan.
+
+    Built from each operator's kind, partitioning method, and the kinds of
+    its children, in topological order. Two plans that differ only in
+    estimated cardinalities, row widths, costs, or partition counts map to
+    the same signature; any structural change (operator added/replaced,
+    wiring changed) yields a different one.
+    """
+    parts = []
+    for op_id in plan.topological_order:
+        node = plan.nodes[op_id]
+        child_kinds = ",".join(
+            plan.nodes[child].kind for child in node.children
+        )
+        parts.append(f"{node.kind}|{node.partitioning.value}|{child_kinds}")
+    digest = hashlib.sha1("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]

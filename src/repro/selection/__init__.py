@@ -1,0 +1,29 @@
+"""Workload subset selection and flight anomaly filters (Section 5.1)."""
+
+from repro.selection.filters import (
+    FilterReport,
+    FlightObservation,
+    apply_flight_filters,
+    violates_monotonicity,
+)
+from repro.selection.kmeans import KMeans
+from repro.selection.stratified import (
+    SelectionResult,
+    cluster_proportions,
+    ks_statistic,
+    select_flighting_jobs,
+    stratified_sample,
+)
+
+__all__ = [
+    "KMeans",
+    "SelectionResult",
+    "cluster_proportions",
+    "stratified_sample",
+    "ks_statistic",
+    "select_flighting_jobs",
+    "FlightObservation",
+    "FilterReport",
+    "apply_flight_filters",
+    "violates_monotonicity",
+]

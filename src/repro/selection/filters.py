@@ -1,0 +1,110 @@
+"""Flight anomaly filters (Section 5.1).
+
+Flighted jobs are only usable for validation when they behave
+deterministically enough; the paper filters out flights that are:
+
+1. **isolated** — fewer than two successful flights of the same job,
+2. **errant** — peak usage exceeding the allocated tokens,
+3. **non-monotonic** — run time increasing with tokens beyond a 10%
+   tolerance (environmental noise allowance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FlightingError
+
+__all__ = ["FlightObservation", "FilterReport", "apply_flight_filters",
+           "violates_monotonicity"]
+
+
+@dataclass(frozen=True)
+class FlightObservation:
+    """The minimal view of one flight the filters need."""
+
+    job_id: str
+    tokens: float
+    runtime: float
+    peak_usage: float
+
+    def __post_init__(self) -> None:
+        if self.tokens <= 0 or self.runtime <= 0:
+            raise FlightingError("flights need positive tokens and run time")
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """Which flights survived, and why the rest were dropped."""
+
+    kept: tuple[FlightObservation, ...]
+    dropped_isolated: tuple[str, ...]
+    dropped_errant: tuple[FlightObservation, ...]
+    dropped_non_monotonic: tuple[str, ...]
+
+    @property
+    def num_kept(self) -> int:
+        return len(self.kept)
+
+
+def violates_monotonicity(
+    flights: list[FlightObservation], tolerance: float = 0.10
+) -> bool:
+    """True when run time increases with tokens beyond the tolerance.
+
+    Flights are averaged per distinct token count, sorted by tokens; any
+    step where run time grows by more than ``tolerance`` (fractionally)
+    violates the expectation that more compute never slows the job down.
+    """
+    if tolerance < 0:
+        raise FlightingError("tolerance must be non-negative")
+    by_tokens: dict[float, list[float]] = {}
+    for flight in flights:
+        by_tokens.setdefault(flight.tokens, []).append(flight.runtime)
+    if len(by_tokens) < 2:
+        return False
+    token_levels = sorted(by_tokens)
+    means = np.array([np.mean(by_tokens[t]) for t in token_levels])
+    ratios = means[1:] / means[:-1]
+    return bool(np.any(ratios > 1.0 + tolerance))
+
+
+def apply_flight_filters(
+    flights: list[FlightObservation],
+    monotonicity_tolerance: float = 0.10,
+    usage_slack: float = 1.02,
+) -> FilterReport:
+    """Apply the three Section 5.1 filters to a set of flights.
+
+    ``usage_slack`` allows a small accounting margin before a flight is
+    declared errant (the executor reports fractional average usage that
+    can graze the allocation).
+    """
+    errant = [f for f in flights if f.peak_usage > f.tokens * usage_slack]
+    errant_ids = {id(f) for f in errant}
+    surviving = [f for f in flights if id(f) not in errant_ids]
+
+    by_job: dict[str, list[FlightObservation]] = {}
+    for flight in surviving:
+        by_job.setdefault(flight.job_id, []).append(flight)
+
+    kept: list[FlightObservation] = []
+    isolated: list[str] = []
+    non_monotonic: list[str] = []
+    for job_id, job_flights in sorted(by_job.items()):
+        if len(job_flights) < 2:
+            isolated.append(job_id)
+            continue
+        if violates_monotonicity(job_flights, monotonicity_tolerance):
+            non_monotonic.append(job_id)
+            continue
+        kept.extend(job_flights)
+
+    return FilterReport(
+        kept=tuple(kept),
+        dropped_isolated=tuple(isolated),
+        dropped_errant=tuple(errant),
+        dropped_non_monotonic=tuple(non_monotonic),
+    )

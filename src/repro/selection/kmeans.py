@@ -1,0 +1,106 @@
+"""K-means clustering (used for workload subset selection, Section 5.1).
+
+A small, dependency-free implementation with k-means++ initialisation,
+used to divide the job population into groups before stratified
+under-sampling (Figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, SelectionError
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise SelectionError("need at least one cluster")
+        if max_iterations < 1:
+            raise SelectionError("max_iterations must be positive")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self._seed = seed
+        self.centroids_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, points: np.ndarray) -> "KMeans":
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise SelectionError("points must be a 2-D matrix")
+        if points.shape[0] < self.n_clusters:
+            raise SelectionError("fewer points than clusters")
+
+        rng = np.random.default_rng(self._seed)
+        centroids = self._init_plus_plus(points, rng)
+
+        for _ in range(self.max_iterations):
+            labels = self._nearest(points, centroids)
+            new_centroids = centroids.copy()
+            for k in range(self.n_clusters):
+                members = points[labels == k]
+                if members.size:
+                    new_centroids[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    distances = self._min_distances(points, new_centroids)
+                    new_centroids[k] = points[int(np.argmax(distances))]
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            if shift < self.tolerance:
+                break
+
+        self.centroids_ = centroids
+        labels = self._nearest(points, centroids)
+        self.inertia_ = float(
+            ((points - centroids[labels]) ** 2).sum()
+        )
+        return self
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        if self.centroids_ is None:
+            raise NotFittedError("KMeans used before fit")
+        points = np.asarray(points, dtype=float)
+        return self._nearest(points, self.centroids_)
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        return self.fit(points).predict(points)
+
+    # ------------------------------------------------------------------
+    def _init_plus_plus(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = points.shape[0]
+        centroids = [points[int(rng.integers(n))]]
+        for _ in range(1, self.n_clusters):
+            distances = self._min_distances(points, np.array(centroids))
+            total = distances.sum()
+            if total <= 0:
+                # All points coincide with a centroid; pick uniformly.
+                centroids.append(points[int(rng.integers(n))])
+                continue
+            probabilities = distances / total
+            index = int(rng.choice(n, p=probabilities))
+            centroids.append(points[index])
+        return np.array(centroids)
+
+    @staticmethod
+    def _min_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        deltas = points[:, None, :] - centroids[None, :, :]
+        return (deltas**2).sum(axis=2).min(axis=1)
+
+    def _nearest(self, points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        deltas = points[:, None, :] - centroids[None, :, :]
+        return (deltas**2).sum(axis=2).argmin(axis=1)

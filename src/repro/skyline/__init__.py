@@ -1,0 +1,35 @@
+"""Skyline data structures, sectioning, and allocation policies."""
+
+from repro.skyline.policies import (
+    AdaptivePeakAllocation,
+    AllocationPolicy,
+    DefaultAllocation,
+    PeakAllocation,
+    PolicyReport,
+    evaluate_policy,
+)
+from repro.skyline.sections import (
+    BandSegment,
+    Section,
+    UtilizationBand,
+    band_time_fractions,
+    classify_bands,
+    split_sections,
+)
+from repro.skyline.skyline import Skyline
+
+__all__ = [
+    "Skyline",
+    "Section",
+    "split_sections",
+    "UtilizationBand",
+    "BandSegment",
+    "classify_bands",
+    "band_time_fractions",
+    "AllocationPolicy",
+    "DefaultAllocation",
+    "PeakAllocation",
+    "AdaptivePeakAllocation",
+    "PolicyReport",
+    "evaluate_policy",
+]

@@ -1,0 +1,170 @@
+"""Skyline sectioning and utilization bands.
+
+Two related decompositions of a skyline are used in the paper:
+
+* **Threshold sections** (Section 3.2, Algorithm 1): contiguous chunks that
+  are entirely at-or-under or entirely over a candidate allocation. These
+  drive the AREPAS simulator — over-allocation sections are copied verbatim
+  and under-allocated sections are stretched.
+
+* **Utilization bands** (Figure 5): regions colour-coded by how much of the
+  allocated capacity is in use (near-minimum / low / moderate-high), used to
+  visualise savings potential for peaky versus flat jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import SkylineError
+from repro.skyline.skyline import Skyline
+
+__all__ = [
+    "Section",
+    "split_sections",
+    "UtilizationBand",
+    "BandSegment",
+    "classify_bands",
+    "band_time_fractions",
+]
+
+
+@dataclass(frozen=True)
+class Section:
+    """A contiguous skyline chunk relative to an allocation threshold.
+
+    Attributes
+    ----------
+    start, end:
+        Half-open second interval ``[start, end)`` in the original skyline.
+    usage:
+        Usage values for the interval.
+    over:
+        True if the section's usage exceeds the threshold (its first value
+        is above the threshold; by construction the whole section then is).
+    """
+
+    start: int
+    end: int
+    usage: np.ndarray
+    over: bool
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    @property
+    def area(self) -> float:
+        return float(self.usage.sum())
+
+
+def split_sections(skyline: Skyline, threshold: float) -> list[Section]:
+    """Split a skyline into maximal runs entirely over / not-over ``threshold``.
+
+    This is lines 1-4 of Algorithm 1: boundaries fall wherever the sign of
+    ``usage - threshold`` changes. Seconds with usage exactly equal to the
+    threshold count as *not over* (they fit under the new allocation).
+    """
+    if threshold <= 0:
+        raise SkylineError("threshold must be positive")
+    usage = skyline.usage
+    over_mask = usage > threshold
+    boundaries = [0]
+    boundaries.extend(
+        int(i) for i in np.nonzero(over_mask[1:] != over_mask[:-1])[0] + 1
+    )
+    boundaries.append(len(usage))
+
+    sections = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        sections.append(
+            Section(
+                start=start,
+                end=end,
+                usage=usage[start:end].copy(),
+                over=bool(over_mask[start]),
+            )
+        )
+    return sections
+
+
+class UtilizationBand(Enum):
+    """Colour-coded utilization levels from Figure 5."""
+
+    MINIMUM = "minimum"  # red: near-minimum utilization
+    LOW = "low"  # pink: low utilization
+    HIGH = "high"  # green: moderate-to-high utilization
+
+
+@dataclass(frozen=True)
+class BandSegment:
+    """A contiguous run of seconds falling in one utilization band."""
+
+    start: int
+    end: int
+    band: UtilizationBand
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+def classify_bands(
+    skyline: Skyline,
+    allocation: float | None = None,
+    low_cutoff: float = 0.25,
+    high_cutoff: float = 0.5,
+) -> list[BandSegment]:
+    """Classify each second of a skyline into utilization bands.
+
+    Utilization is measured against ``allocation`` (defaults to the peak).
+    Seconds using at most ``low_cutoff`` of the allocation are *minimum*
+    (red), those between the cutoffs are *low* (pink), and the rest are
+    *high* (green) — mirroring Figure 5's colour coding.
+    """
+    if allocation is None:
+        allocation = skyline.peak
+    if allocation <= 0:
+        raise SkylineError("allocation must be positive")
+    if not 0 < low_cutoff < high_cutoff <= 1:
+        raise SkylineError("cutoffs must satisfy 0 < low < high <= 1")
+
+    utilization = skyline.usage / allocation
+    bands = np.where(
+        utilization <= low_cutoff,
+        0,
+        np.where(utilization <= high_cutoff, 1, 2),
+    )
+    order = [UtilizationBand.MINIMUM, UtilizationBand.LOW, UtilizationBand.HIGH]
+
+    segments = []
+    start = 0
+    for i in range(1, len(bands) + 1):
+        if i == len(bands) or bands[i] != bands[start]:
+            segments.append(
+                BandSegment(start=start, end=i, band=order[int(bands[start])])
+            )
+            start = i
+    return segments
+
+
+def band_time_fractions(
+    skyline: Skyline,
+    allocation: float | None = None,
+    low_cutoff: float = 0.25,
+    high_cutoff: float = 0.5,
+) -> dict[UtilizationBand, float]:
+    """Fraction of run time spent in each utilization band.
+
+    Peaky jobs (Figure 5a) spend most of their time in the red/pink bands;
+    flat jobs (Figure 5b) in the green band.
+    """
+    segments = classify_bands(skyline, allocation, low_cutoff, high_cutoff)
+    totals = {band: 0 for band in UtilizationBand}
+    for segment in segments:
+        totals[segment.band] += segment.duration
+    duration = skyline.duration
+    return {band: seconds / duration for band, seconds in totals.items()}

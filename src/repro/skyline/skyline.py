@@ -1,0 +1,196 @@
+"""Resource-usage skylines.
+
+The paper represents a job's resource usage as a *skyline*: the time series
+of tokens in use, discretized at one-second granularity (Section 1 and
+Section 3.2). A 1x1 cell in the skyline plot is one *token-second*, and the
+area under the skyline is the total work performed by the job.
+
+:class:`Skyline` is an immutable wrapper around a non-negative integer-ish
+numpy vector, one entry per second, providing the geometric quantities the
+rest of the system needs: area, peak, duration, utilization statistics, and
+resampling helpers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import SkylineError
+
+__all__ = ["Skyline"]
+
+
+class Skyline:
+    """A job's per-second token usage.
+
+    Parameters
+    ----------
+    usage:
+        Token usage per second. Values must be finite and non-negative.
+        Fractional values are allowed (the cluster simulator can report
+        average usage within a second) but most workflows use integers.
+
+    Notes
+    -----
+    Instances are immutable: the underlying array is copied on construction
+    and flagged read-only, so skylines can be shared safely between the
+    repository, the AREPAS simulator, and validation code.
+    """
+
+    __slots__ = ("_usage",)
+
+    def __init__(self, usage: Sequence[float] | np.ndarray) -> None:
+        arr = np.asarray(usage, dtype=np.float64).copy()
+        if arr.ndim != 1:
+            raise SkylineError(f"skyline must be 1-D, got shape {arr.shape}")
+        if arr.size == 0:
+            raise SkylineError("skyline must contain at least one second of usage")
+        if not np.all(np.isfinite(arr)):
+            raise SkylineError("skyline contains non-finite values")
+        if np.any(arr < 0):
+            raise SkylineError("skyline contains negative token usage")
+        arr.setflags(write=False)
+        self._usage = arr
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def usage(self) -> np.ndarray:
+        """The read-only per-second usage vector."""
+        return self._usage
+
+    def __len__(self) -> int:
+        return int(self._usage.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._usage)
+
+    def __getitem__(self, index: int | slice) -> float | np.ndarray:
+        return self._usage[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Skyline):
+            return NotImplemented
+        return self._usage.shape == other._usage.shape and bool(
+            np.allclose(self._usage, other._usage)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._usage.size, self._usage.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Skyline(duration={self.duration}s, peak={self.peak:.0f}, "
+            f"area={self.area:.0f} token-s)"
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        """Job run time in seconds (length of the skyline)."""
+        return int(self._usage.size)
+
+    @property
+    def area(self) -> float:
+        """Total token-seconds: the area under the skyline."""
+        return float(self._usage.sum())
+
+    @property
+    def peak(self) -> float:
+        """Peak token usage over the job's lifetime."""
+        return float(self._usage.max())
+
+    @property
+    def mean_usage(self) -> float:
+        """Average token usage per second."""
+        return float(self._usage.mean())
+
+    def utilization(self, allocation: float) -> float:
+        """Fraction of the allocated token-seconds actually used.
+
+        ``area / (allocation * duration)``; an allocation below the mean
+        usage yields a value above 1, signalling under-allocation.
+        """
+        if allocation <= 0:
+            raise SkylineError("allocation must be positive")
+        return self.area / (allocation * self.duration)
+
+    def over_allocation(self, allocation: float) -> float:
+        """Wasted token-seconds under a static ``allocation``.
+
+        Seconds where usage exceeds the allocation contribute zero waste
+        (the job would not actually receive more than the allocation, but
+        historical skylines can record over-use; see the flight filters in
+        Section 5.1).
+        """
+        if allocation <= 0:
+            raise SkylineError("allocation must be positive")
+        return float(np.clip(allocation - self._usage, 0.0, None).sum())
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of the run time with usage strictly above ``threshold``."""
+        return float(np.count_nonzero(self._usage > threshold)) / self.duration
+
+    def peakiness(self) -> float:
+        """Coefficient of variation of usage: high for peaky jobs.
+
+        Figure 5 distinguishes *peaky* skylines (deep valleys, brief peaks)
+        from *flatter* ones. The coefficient of variation (std/mean) is a
+        convenient scalar summary: flat skylines score near zero.
+        """
+        mean = self.mean_usage
+        if mean == 0:
+            return 0.0
+        return float(self._usage.std() / mean)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def clipped(self, allocation: float) -> "Skyline":
+        """Return a copy with usage clipped at ``allocation``."""
+        if allocation <= 0:
+            raise SkylineError("allocation must be positive")
+        return Skyline(np.minimum(self._usage, allocation))
+
+    def concatenate(self, other: "Skyline") -> "Skyline":
+        """Return the skyline of this job followed immediately by ``other``."""
+        return Skyline(np.concatenate([self._usage, other._usage]))
+
+    def rounded(self) -> "Skyline":
+        """Return a copy with usage rounded to whole tokens."""
+        return Skyline(np.rint(self._usage))
+
+    def with_noise(self, rng: np.random.Generator, scale: float = 0.05) -> "Skyline":
+        """Return a noisy copy, modelling run-to-run cluster variance.
+
+        Each second's usage is scaled by a lognormal factor with the given
+        ``scale`` (sigma of the underlying normal). Used by the flighting
+        harness so repeated executions of the same job do not match exactly,
+        which is what makes the paper's anomaly filters meaningful.
+        """
+        if scale < 0:
+            raise SkylineError("noise scale must be non-negative")
+        if scale == 0:
+            return self
+        factors = rng.lognormal(mean=0.0, sigma=scale, size=self._usage.size)
+        return Skyline(self._usage * factors)
+
+    @classmethod
+    def from_segments(cls, segments: Iterable[tuple[int, float]]) -> "Skyline":
+        """Build a skyline from ``(duration_seconds, tokens)`` segments.
+
+        Convenient for constructing the toy examples of Figures 6 and 7.
+        """
+        parts: list[np.ndarray] = []
+        for duration, tokens in segments:
+            if duration <= 0:
+                raise SkylineError("segment duration must be positive")
+            parts.append(np.full(int(duration), float(tokens)))
+        if not parts:
+            raise SkylineError("at least one segment is required")
+        return cls(np.concatenate(parts))

@@ -1,0 +1,116 @@
+"""Human-readable PCC explanations (Section 2.2).
+
+TASQ can either apply its recommendation automatically or "display the
+PCC to the users for them to understand the performance-resource
+trade-off and to make an informed decision about the token count". This
+module renders that display for terminals: a text chart of the predicted
+curve, the marked operating points, and a plain-language summary of the
+trade-off — made possible by the PCC's guaranteed monotone, two-parameter
+form (one of the paper's §4.1 motivations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PipelineError
+from repro.pcc.curve import PowerLawPCC
+from repro.tasq.pipeline import TokenRecommendation
+
+__all__ = ["render_pcc_chart", "explain_recommendation"]
+
+
+def render_pcc_chart(
+    pcc: PowerLawPCC,
+    max_tokens: float,
+    min_tokens: float = 1.0,
+    width: int = 48,
+    height: int = 12,
+    marks: dict[str, float] | None = None,
+) -> str:
+    """ASCII chart of a PCC over ``[min_tokens, max_tokens]``.
+
+    ``marks`` maps single-character labels to token counts highlighted on
+    the curve (e.g. ``{"O": optimal, "R": requested}``).
+    """
+    if max_tokens <= min_tokens:
+        raise PipelineError("max_tokens must exceed min_tokens")
+    if width < 10 or height < 4:
+        raise PipelineError("chart must be at least 10x4 characters")
+
+    tokens = np.geomspace(min_tokens, max_tokens, width)
+    runtimes = np.asarray(pcc.runtime(tokens), dtype=float)
+    low, high = runtimes.min(), runtimes.max()
+    span = max(high - low, 1e-9)
+    rows = np.clip(
+        ((high - runtimes) / span * (height - 1)).round().astype(int),
+        0,
+        height - 1,
+    )
+
+    grid = [[" "] * width for _ in range(height)]
+    for column, row in enumerate(rows):
+        grid[row][column] = "*"
+
+    for label, mark_tokens in (marks or {}).items():
+        mark_tokens = float(np.clip(mark_tokens, min_tokens, max_tokens))
+        column = int(
+            np.argmin(np.abs(np.log(tokens) - np.log(mark_tokens)))
+        )
+        grid[rows[column]][column] = label[0]
+
+    lines = []
+    for index, row in enumerate(grid):
+        if index == 0:
+            axis = f"{high:>8.0f}s |"
+        elif index == height - 1:
+            axis = f"{low:>8.0f}s |"
+        else:
+            axis = " " * 10 + "|"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11
+        + f"{min_tokens:<10.0f}"
+        + f"{'tokens (log scale)':^{max(0, width - 20)}}"
+        + f"{max_tokens:>10.0f}"
+    )
+    return "\n".join(lines)
+
+
+def explain_recommendation(recommendation: TokenRecommendation) -> str:
+    """Plain-language explanation of one token recommendation."""
+    pcc = recommendation.pcc
+    requested = recommendation.requested_tokens
+    optimal = recommendation.optimal_tokens
+
+    chart = render_pcc_chart(
+        pcc,
+        max_tokens=float(requested),
+        marks={"O": float(optimal), "R": float(requested)},
+    )
+
+    steepness = (
+        "highly parallel: it speeds up almost linearly with tokens"
+        if pcc.a < -0.8
+        else "moderately parallel: extra tokens help, with diminishing returns"
+        if pcc.a < -0.3
+        else "mostly serial: extra tokens barely change its run time"
+    )
+    at_half = pcc.speedup(max(1, requested // 2), requested)
+    parts = [
+        f"Job {recommendation.job_id}: predicted PCC "
+        f"runtime = {pcc.b:.1f} x tokens^{pcc.a:.3f}",
+        "",
+        chart,
+        "",
+        f"This job looks {steepness} (exponent a = {pcc.a:.2f}).",
+        f"Halving the requested {requested} tokens would slow it by an "
+        f"estimated {at_half - 1:.0%}.",
+        f"Recommended allocation: {optimal} tokens "
+        f"({recommendation.token_savings:.0%} below the request, "
+        f"predicted slowdown {recommendation.predicted_slowdown:.1%}).",
+        "The curve is monotonically non-increasing by construction, so "
+        "more tokens never hurt — they just stop helping.",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,87 @@
+"""Model registry (the AML model store of Figure 4).
+
+An in-process registry of fitted models with metadata and optional
+pickle-backed persistence, standing in for the Azure ML model store +
+AKS deployment plumbing of the production system.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import PipelineError
+from repro.models.base import PCCPredictor
+
+__all__ = ["ModelRecord", "ModelStore"]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One registered model plus its training metadata."""
+
+    name: str
+    model: PCCPredictor
+    version: int
+    metadata: dict = field(default_factory=dict)
+
+
+class ModelStore:
+    """Versioned in-memory model registry with optional disk persistence."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self._records: dict[str, list[ModelRecord]] = {}
+        self._root = Path(root) if root is not None else None
+        if self._root is not None:
+            self._root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, model: PCCPredictor, metadata: dict | None = None
+    ) -> ModelRecord:
+        """Register a fitted model under ``name``; versions auto-increment."""
+        versions = self._records.setdefault(name, [])
+        record = ModelRecord(
+            name=name,
+            model=model,
+            version=len(versions) + 1,
+            metadata=dict(metadata or {}),
+        )
+        versions.append(record)
+        if self._root is not None:
+            path = self._root / f"{name}-v{record.version}.pkl"
+            with open(path, "wb") as handle:
+                pickle.dump(record, handle)
+        return record
+
+    def get(self, name: str, version: int | None = None) -> ModelRecord:
+        """Fetch a model by name (latest version by default)."""
+        versions = self._records.get(name)
+        if not versions:
+            raise PipelineError(f"no model registered under {name!r}")
+        if version is None:
+            return versions[-1]
+        for record in versions:
+            if record.version == version:
+                return record
+        raise PipelineError(f"model {name!r} has no version {version}")
+
+    def names(self) -> list[str]:
+        return sorted(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    # ------------------------------------------------------------------
+    def load_from_disk(self, name: str, version: int) -> ModelRecord:
+        """Load a previously persisted model record."""
+        if self._root is None:
+            raise PipelineError("this store has no persistence root")
+        path = self._root / f"{name}-v{version}.pkl"
+        if not path.exists():
+            raise PipelineError(f"no persisted model at {path}")
+        with open(path, "rb") as handle:
+            record = pickle.load(handle)
+        self._records.setdefault(name, []).append(record)
+        return record

@@ -1,0 +1,128 @@
+"""Prediction monitoring and retraining signals.
+
+The production TASQ deployment (Figure 4) feeds completed jobs back into
+the job repository; a serving system additionally needs to know *when the
+deployed model has drifted* — workloads change (new business units, input
+growth) and a model trained months ago degrades silently.
+
+:class:`PredictionMonitor` accumulates (predicted, actual) run-time pairs
+as jobs finish, tracks a rolling median absolute percentage error, and
+raises a retraining signal once the rolling error exceeds a threshold for
+long enough. It is deliberately model-agnostic: anything that predicted a
+run time can be monitored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PipelineError
+
+__all__ = ["MonitorSnapshot", "PredictionMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """State of the monitor at one point in time."""
+
+    observations: int
+    rolling_median_ape: float | None
+    consecutive_breaches: int
+    needs_retraining: bool
+
+
+class PredictionMonitor:
+    """Rolling-error monitor with a debounced retraining signal.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent jobs in the rolling error window.
+    error_threshold:
+        Rolling median APE (percent) above which the window *breaches*.
+    patience:
+        Number of consecutive breaching observations required before the
+        retraining signal fires — a debounce against noisy bursts.
+    min_observations:
+        No signal is raised before this many jobs have been observed.
+    """
+
+    def __init__(
+        self,
+        window: int = 200,
+        error_threshold: float = 50.0,
+        patience: int = 20,
+        min_observations: int = 50,
+    ) -> None:
+        if window < 2:
+            raise PipelineError("window must hold at least two jobs")
+        if error_threshold <= 0:
+            raise PipelineError("error threshold must be positive")
+        if patience < 1:
+            raise PipelineError("patience must be at least 1")
+        if min_observations < 2:
+            raise PipelineError("min_observations must be at least 2")
+        self.window = window
+        self.error_threshold = error_threshold
+        self.patience = patience
+        self.min_observations = min_observations
+        self._errors: deque[float] = deque(maxlen=window)
+        self._total = 0
+        self._consecutive_breaches = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, predicted_runtime: float, actual_runtime: float) -> None:
+        """Record one completed job's prediction outcome."""
+        if predicted_runtime <= 0 or actual_runtime <= 0:
+            raise PipelineError("run times must be positive")
+        ape = abs(predicted_runtime - actual_runtime) / actual_runtime * 100.0
+        self._errors.append(ape)
+        self._total += 1
+        if (
+            self._total >= self.min_observations
+            and self.rolling_median_ape is not None
+            and self.rolling_median_ape > self.error_threshold
+        ):
+            self._consecutive_breaches += 1
+        else:
+            self._consecutive_breaches = 0
+
+    def observe_batch(
+        self, predicted: np.ndarray, actual: np.ndarray
+    ) -> None:
+        predicted = np.asarray(predicted, dtype=float)
+        actual = np.asarray(actual, dtype=float)
+        if predicted.shape != actual.shape:
+            raise PipelineError("predicted/actual shapes differ")
+        for p, a in zip(predicted, actual):
+            self.observe(float(p), float(a))
+
+    # ------------------------------------------------------------------
+    @property
+    def rolling_median_ape(self) -> float | None:
+        """Median APE over the window (None before any observation)."""
+        if not self._errors:
+            return None
+        return float(np.median(self._errors))
+
+    @property
+    def needs_retraining(self) -> bool:
+        """True once the error has breached for ``patience`` jobs."""
+        return self._consecutive_breaches >= self.patience
+
+    def snapshot(self) -> MonitorSnapshot:
+        return MonitorSnapshot(
+            observations=self._total,
+            rolling_median_ape=self.rolling_median_ape,
+            consecutive_breaches=self._consecutive_breaches,
+            needs_retraining=self.needs_retraining,
+        )
+
+    def reset(self) -> None:
+        """Clear state (call after retraining + redeployment)."""
+        self._errors.clear()
+        self._total = 0
+        self._consecutive_breaches = 0

@@ -1,0 +1,235 @@
+"""End-to-end TASQ training and scoring pipelines (Figure 4).
+
+The production system ingests historical telemetry, featurizes it, trains
+PCC prediction models, registers them, and serves predictions for
+incoming jobs at compile time. This module reproduces that flow
+in-process:
+
+* :class:`TrainingPipeline` — repository -> AREPAS augmentation ->
+  featurization -> model training -> registration in a
+  :class:`~repro.tasq.model_store.ModelStore`.
+* :class:`ScoringPipeline` — compile-time plan -> features -> predicted
+  PCC -> token recommendation (optimal tokens + expected trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import PipelineError
+from repro.features.graph_features import plan_to_graph_sample
+from repro.features.job_features import job_vector
+from repro.models.base import PCCPredictor
+from repro.models.dataset import PCCDataset, PCCExample, build_dataset
+from repro.models.gnn_model import GNNPCCModel
+from repro.models.nn_model import NNPCCModel
+from repro.models.training import TrainConfig
+from repro.models.xgboost_models import XGBoostPL, XGBoostSS
+from repro.pcc.curve import PowerLawPCC
+from repro.pcc.optimal import optimal_tokens, tokens_for_slowdown
+from repro.scope.plan import QueryPlan
+from repro.scope.repository import JobRepository
+from repro.tasq.model_store import ModelStore
+
+__all__ = [
+    "TasqConfig",
+    "TrainedModels",
+    "TrainingPipeline",
+    "TokenRecommendation",
+    "ScoringPipeline",
+]
+
+
+@dataclass(frozen=True)
+class TasqConfig:
+    """Which models the training pipeline fits, and how."""
+
+    train_xgboost: bool = True
+    train_nn: bool = True
+    train_gnn: bool = True
+    nn_train_config: TrainConfig = field(
+        default_factory=lambda: TrainConfig(epochs=60)
+    )
+    gnn_train_config: TrainConfig = field(
+        default_factory=lambda: TrainConfig(epochs=30, batch_size=32,
+                                            learning_rate=2e-3)
+    )
+    seed: int = 0
+
+
+@dataclass
+class TrainedModels:
+    """Output of one training run."""
+
+    dataset: PCCDataset
+    models: dict[str, PCCPredictor]
+
+    def get(self, name: str) -> PCCPredictor:
+        try:
+            return self.models[name]
+        except KeyError:
+            raise PipelineError(f"pipeline did not train a model named {name!r}")
+
+
+class TrainingPipeline:
+    """Repository -> featurized dataset -> fitted models -> model store."""
+
+    def __init__(
+        self,
+        config: TasqConfig | None = None,
+        store: ModelStore | None = None,
+    ) -> None:
+        self.config = config or TasqConfig()
+        self.store = store or ModelStore()
+
+    def run(self, repository: JobRepository) -> TrainedModels:
+        """Train every configured model on the repository's telemetry."""
+        config = self.config
+        dataset = build_dataset(repository)
+        models: dict[str, PCCPredictor] = {}
+
+        if config.train_xgboost:
+            models["xgboost_ss"] = XGBoostSS(seed=config.seed).fit(dataset)
+            models["xgboost_pl"] = XGBoostPL(seed=config.seed).fit(dataset)
+        if config.train_nn:
+            models["nn"] = NNPCCModel(
+                train_config=config.nn_train_config, seed=config.seed
+            ).fit(dataset)
+        if config.train_gnn:
+            models["gnn"] = GNNPCCModel(
+                train_config=config.gnn_train_config, seed=config.seed
+            ).fit(dataset)
+        if not models:
+            raise PipelineError("configuration enables no models")
+
+        for name, model in models.items():
+            self.store.register(
+                name, model, metadata={"train_jobs": len(dataset)}
+            )
+        return TrainedModels(dataset=dataset, models=models)
+
+
+@dataclass(frozen=True)
+class TokenRecommendation:
+    """The scoring pipeline's answer for one incoming job."""
+
+    job_id: str
+    pcc: PowerLawPCC
+    requested_tokens: int
+    optimal_tokens: int
+    predicted_runtime_at_requested: float
+    predicted_runtime_at_optimal: float
+
+    @property
+    def token_savings(self) -> float:
+        """Fraction of the requested tokens the recommendation saves."""
+        return 1.0 - self.optimal_tokens / self.requested_tokens
+
+    @property
+    def predicted_slowdown(self) -> float:
+        """Expected fractional run-time increase at the recommendation."""
+        return (
+            self.predicted_runtime_at_optimal
+            / self.predicted_runtime_at_requested
+            - 1.0
+        )
+
+
+def _scoring_dataset(plans: list[QueryPlan], tokens: np.ndarray) -> PCCDataset:
+    """Wrap compile-time plans into the dataset shape models consume.
+
+    Scoring has no ground truth, so targets/observations are inert
+    placeholders — prediction paths only read features and the reference
+    token counts.
+    """
+    placeholder = PowerLawPCC(a=-1.0, b=1.0)
+    dataset = PCCDataset()
+    for plan, requested in zip(plans, tokens):
+        dataset.examples.append(
+            PCCExample(
+                job_id=plan.job_id,
+                observed_tokens=float(requested),
+                observed_runtime=1.0,
+                target_pcc=placeholder,
+                job_features=job_vector(plan),
+                graph=plan_to_graph_sample(plan),
+                point_observations=(),
+            )
+        )
+    return dataset
+
+
+class ScoringPipeline:
+    """Compile-time scoring: plan -> PCC -> token recommendation.
+
+    Parameters
+    ----------
+    model:
+        A fitted *parametric* PCC predictor (NN, GNN, or XGBoost PL).
+    improvement_threshold:
+        Marginal-gain cutoff for the optimal allocation (Section 2.1),
+        e.g. 0.01 = require >= 1% run-time improvement per extra token.
+    max_slowdown:
+        Optional SLO: when set, the recommendation is additionally capped
+        so predicted slowdown versus the requested allocation stays
+        within this budget.
+    """
+
+    def __init__(
+        self,
+        model: PCCPredictor,
+        improvement_threshold: float = 0.01,
+        max_slowdown: float | None = None,
+    ) -> None:
+        if improvement_threshold <= 0:
+            raise PipelineError("improvement threshold must be positive")
+        self.model = model
+        self.improvement_threshold = improvement_threshold
+        self.max_slowdown = max_slowdown
+
+    def score(self, plan: QueryPlan, requested_tokens: int) -> TokenRecommendation:
+        """Recommendation for a single incoming job."""
+        return self.score_batch([plan], [requested_tokens])[0]
+
+    def score_batch(
+        self, plans: list[QueryPlan], requested_tokens: list[int]
+    ) -> list[TokenRecommendation]:
+        """Recommendations for a batch of incoming jobs."""
+        if len(plans) != len(requested_tokens):
+            raise PipelineError("plans and token requests must align")
+        if any(t < 1 for t in requested_tokens):
+            raise PipelineError("requested tokens must be positive")
+
+        dataset = _scoring_dataset(plans, np.asarray(requested_tokens, float))
+        pccs = self.model.predict_pccs(dataset)
+        if pccs is None:
+            raise PipelineError(
+                f"{self.model.name} is non-parametric; scoring needs a "
+                "parametric PCC model (NN, GNN, or XGBoost PL)"
+            )
+
+        recommendations = []
+        for plan, requested, pcc in zip(plans, requested_tokens, pccs):
+            best = optimal_tokens(
+                pcc,
+                improvement_threshold=self.improvement_threshold,
+                max_tokens=requested,
+            )
+            if self.max_slowdown is not None:
+                floor = tokens_for_slowdown(
+                    pcc, requested, self.max_slowdown
+                )
+                best = max(best, floor)
+            recommendations.append(
+                TokenRecommendation(
+                    job_id=plan.job_id,
+                    pcc=pcc,
+                    requested_tokens=int(requested),
+                    optimal_tokens=int(best),
+                    predicted_runtime_at_requested=float(pcc.runtime(requested)),
+                    predicted_runtime_at_optimal=float(pcc.runtime(best)),
+                )
+            )
+        return recommendations

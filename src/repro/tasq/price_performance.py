@@ -1,0 +1,131 @@
+"""Price-performance optimization on top of a PCC (Section 2.3).
+
+The paper's companion work ("Predictive Price-Performance Optimization
+for Serverless Query Processing", cited as [35]) chooses allocations that
+trade *money* against run time, not just tokens. Once a PCC exists, that
+optimization is closed-form:
+
+* **cost** of running at allocation ``A`` is
+  ``A x runtime(A) x rate = rate * b * A^(1+a)`` for a power-law PCC, so
+  cost is *increasing* in ``A`` when ``a > -1`` (imperfect scaling:
+  parallelism wastes money) and *decreasing* when ``a < -1``
+  (super-linear scaling: more tokens are a free lunch — rare and usually
+  an artefact);
+* the **cheapest allocation meeting a deadline** solves
+  ``runtime(A) <= D`` at the boundary: ``A* = (b / D)^(-1/a)``;
+* the **Pareto frontier** of (cost, run time) over an allocation range is
+  where users pick their own trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PipelineError
+from repro.pcc.curve import PowerLawPCC
+
+__all__ = [
+    "PricePoint",
+    "job_cost",
+    "cheapest_within_deadline",
+    "pareto_frontier",
+]
+
+
+@dataclass(frozen=True)
+class PricePoint:
+    """One allocation's position in the price-performance plane."""
+
+    tokens: int
+    runtime: float
+    cost: float
+
+
+def job_cost(
+    pcc: PowerLawPCC, tokens: float, rate_per_token_second: float = 1.0
+) -> float:
+    """Monetary cost of one run: tokens x predicted seconds x rate."""
+    if tokens <= 0:
+        raise PipelineError("token count must be positive")
+    if rate_per_token_second <= 0:
+        raise PipelineError("price rate must be positive")
+    return float(tokens * pcc.runtime(tokens) * rate_per_token_second)
+
+
+def cheapest_within_deadline(
+    pcc: PowerLawPCC,
+    deadline_seconds: float,
+    min_tokens: int = 1,
+    max_tokens: int | None = None,
+) -> int | None:
+    """Smallest allocation whose predicted run time meets the deadline.
+
+    For a non-increasing power law, cost rises with tokens whenever
+    ``a > -1``, so the deadline-feasible *minimum* is also the cheapest
+    choice. Returns None when even ``max_tokens`` misses the deadline
+    (the deadline is infeasible under the predicted PCC).
+    """
+    if deadline_seconds <= 0:
+        raise PipelineError("deadline must be positive")
+    if not pcc.is_non_increasing:
+        raise PipelineError("deadline search needs a non-increasing PCC")
+
+    if pcc.a == 0:
+        feasible = pcc.b <= deadline_seconds
+        if not feasible:
+            return None
+        return max(1, min_tokens)
+
+    # runtime(A) <= D  <=>  A >= (b / D)^(-1/a)   (a < 0)
+    boundary = (pcc.b / deadline_seconds) ** (-1.0 / pcc.a)
+    tokens = max(min_tokens, int(np.ceil(boundary - 1e-9)))
+    if max_tokens is not None and tokens > max_tokens:
+        return None
+    return tokens
+
+
+def pareto_frontier(
+    pcc: PowerLawPCC,
+    min_tokens: int = 1,
+    max_tokens: int = 256,
+    num_points: int = 12,
+    rate_per_token_second: float = 1.0,
+) -> list[PricePoint]:
+    """Pareto-efficient (cost, run time) points over a token range.
+
+    Evaluates a geometric token grid and keeps the points no other point
+    dominates (cheaper *and* faster). With a power-law PCC and ``a > -1``
+    every grid point is Pareto-efficient (cost strictly trades against
+    time); flat curves collapse to the single cheapest point.
+    """
+    if min_tokens < 1 or max_tokens < min_tokens:
+        raise PipelineError("invalid token range")
+    if num_points < 2:
+        raise PipelineError("need at least two frontier points")
+
+    grid = np.unique(
+        np.round(np.geomspace(min_tokens, max_tokens, num_points)).astype(int)
+    )
+    candidates = [
+        PricePoint(
+            tokens=int(tokens),
+            runtime=float(pcc.runtime(int(tokens))),
+            cost=job_cost(pcc, int(tokens), rate_per_token_second),
+        )
+        for tokens in grid
+    ]
+
+    frontier = []
+    for point in candidates:
+        dominated = any(
+            other.cost <= point.cost + 1e-12
+            and other.runtime <= point.runtime + 1e-12
+            and (other.cost < point.cost - 1e-12
+                 or other.runtime < point.runtime - 1e-12)
+            for other in candidates
+        )
+        if not dominated:
+            frontier.append(point)
+    return frontier

@@ -1,0 +1,117 @@
+"""Workload-level what-if analysis: potential token-request reduction.
+
+Reproduces Figure 2: for each historical job, find the smallest token
+allocation whose (AREPAS-estimated) run time stays within a performance
+budget of the observed run, and report how the resulting token-request
+reductions distribute over the workload at several budgets (no loss /
+5% loss / 10% loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arepas.simulator import AREPAS
+from repro.exceptions import PipelineError
+from repro.scope.repository import JobRepository, TelemetryRecord
+
+__all__ = [
+    "REDUCTION_BUCKETS",
+    "minimum_tokens_within_budget",
+    "TokenReductionReport",
+    "token_reduction_report",
+]
+
+#: Figure 2's x-axis buckets: (label, inclusive-lower, exclusive-upper)
+#: over the fractional token-request reduction.
+REDUCTION_BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("0%", -np.inf, 1e-9),
+    ("0-25%", 1e-9, 0.25),
+    ("25-50%", 0.25, 0.50),
+    (">50%", 0.50, np.inf),
+)
+
+
+def minimum_tokens_within_budget(
+    record: TelemetryRecord,
+    slowdown_budget: float,
+    simulator: AREPAS | None = None,
+) -> int:
+    """Smallest allocation keeping estimated run time within the budget.
+
+    Binary-searches integer allocations in ``[1, requested]`` using the
+    AREPAS estimate, exploiting that the simulated run time is
+    non-increasing in the allocation.
+    """
+    if slowdown_budget < 0:
+        raise PipelineError("slowdown budget must be non-negative")
+    simulator = simulator or AREPAS()
+    requested = int(record.requested_tokens)
+    limit = record.runtime * (1.0 + slowdown_budget)
+
+    low, high = 1, requested
+    while low < high:
+        mid = (low + high) // 2
+        if simulator.runtime(record.skyline, mid) <= limit:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+@dataclass(frozen=True)
+class TokenReductionReport:
+    """Figure 2's bar heights for one performance budget."""
+
+    slowdown_budget: float
+    bucket_fractions: dict[str, float]
+    mean_reduction: float
+
+    def fraction_reducible(self) -> float:
+        """Share of jobs that could request fewer tokens at all."""
+        return 1.0 - self.bucket_fractions["0%"]
+
+    def fraction_halvable(self) -> float:
+        """Share of jobs needing less than half the requested tokens."""
+        return self.bucket_fractions[">50%"]
+
+
+def token_reduction_report(
+    repository: JobRepository | list[TelemetryRecord],
+    slowdown_budget: float = 0.0,
+    simulator: AREPAS | None = None,
+) -> TokenReductionReport:
+    """Distribution of potential token-request reductions (Figure 2).
+
+    ``slowdown_budget`` of 0.0/0.05/0.10 corresponds to the paper's
+    "default performance" / "95% default" / "90% default" scenarios.
+    """
+    records = (
+        repository.records()
+        if isinstance(repository, JobRepository)
+        else list(repository)
+    )
+    if not records:
+        raise PipelineError("no records to analyse")
+    simulator = simulator or AREPAS()
+
+    reductions = []
+    for record in records:
+        minimum = minimum_tokens_within_budget(record, slowdown_budget, simulator)
+        reductions.append(1.0 - minimum / record.requested_tokens)
+    reductions_arr = np.array(reductions)
+
+    fractions = {}
+    for label, low, high in REDUCTION_BUCKETS:
+        mask = (reductions_arr > low) & (reductions_arr <= high)
+        if label == "0%":
+            mask = reductions_arr <= 1e-9
+        fractions[label] = float(mask.mean())
+
+    return TokenReductionReport(
+        slowdown_budget=slowdown_budget,
+        bucket_fractions=fractions,
+        mean_reduction=float(reductions_arr.mean()),
+    )

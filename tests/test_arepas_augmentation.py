@@ -1,0 +1,120 @@
+"""Unit tests for AREPAS-based training data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.arepas import (
+    AugmentedObservation,
+    augment_point_observations,
+    default_token_grid,
+    sweep_token_grid,
+)
+from repro.exceptions import SimulationError
+from repro.skyline import Skyline
+
+
+@pytest.fixture()
+def over_allocated_skyline():
+    """Peak usage 40 while observed allocation is 100 (over-allocated)."""
+    usage = np.full(100, 20.0)
+    usage[30:50] = 40.0
+    return Skyline(usage)
+
+
+class TestAugmentedObservation:
+    def test_valid(self):
+        obs = AugmentedObservation(tokens=10, runtime=100)
+        assert obs.source == "simulated"
+
+    def test_rejects_bad_tokens(self):
+        with pytest.raises(SimulationError):
+            AugmentedObservation(tokens=0, runtime=10)
+
+    def test_rejects_bad_runtime(self):
+        with pytest.raises(SimulationError):
+            AugmentedObservation(tokens=5, runtime=0)
+
+
+class TestPointAugmentation:
+    def test_observed_sample_first(self, over_allocated_skyline):
+        obs = augment_point_observations(over_allocated_skyline, 100)
+        assert obs[0].source == "observed"
+        assert obs[0].tokens == 100
+        assert obs[0].runtime == over_allocated_skyline.duration
+
+    def test_under_allocations_at_80_and_60_percent(self, over_allocated_skyline):
+        obs = augment_point_observations(over_allocated_skyline, 100)
+        simulated_tokens = [o.tokens for o in obs if o.source == "simulated"]
+        assert 80.0 in simulated_tokens
+        assert 60.0 in simulated_tokens
+
+    def test_over_peak_observations_floored(self, over_allocated_skyline):
+        """120%/140% of the peak exist with run time floored at the peak's."""
+        obs = augment_point_observations(over_allocated_skyline, 100)
+        peak = over_allocated_skyline.peak
+        over = [o for o in obs if o.tokens in (1.2 * peak, 1.4 * peak)]
+        assert len(over) == 2
+        runtimes = {o.runtime for o in over}
+        assert len(runtimes) == 1  # floored at the peak-allocation run time
+        # At/beyond the peak the job runs unthrottled: the original duration.
+        assert runtimes == {float(over_allocated_skyline.duration)}
+
+    def test_no_over_observations_when_not_over_allocated(self):
+        sky = Skyline(np.full(50, 100.0))
+        obs = augment_point_observations(sky, 100)
+        # Peak equals the allocation: only the observed + under samples.
+        assert len(obs) == 3
+        assert all(o.tokens <= 100 for o in obs)
+
+    def test_under_allocation_runtimes_increase(self, over_allocated_skyline):
+        obs = augment_point_observations(over_allocated_skyline, 40)
+        by_tokens = {o.tokens: o.runtime for o in obs}
+        assert by_tokens[24.0] >= by_tokens[32.0] >= by_tokens[40.0]
+
+    def test_rejects_nonpositive_tokens(self, over_allocated_skyline):
+        with pytest.raises(SimulationError):
+            augment_point_observations(over_allocated_skyline, 0)
+
+    def test_token_floor_of_one(self):
+        sky = Skyline([2, 2, 2])
+        obs = augment_point_observations(sky, 1.2)
+        assert all(o.tokens >= 1.0 for o in obs)
+
+
+class TestTokenGrid:
+    def test_grid_spans_fractions(self):
+        grid = default_token_grid(100, num_points=5)
+        assert grid[0] == pytest.approx(20.0)
+        assert grid[-1] == pytest.approx(100.0)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_grid_floor_of_one_token(self):
+        grid = default_token_grid(2, num_points=4)
+        assert np.all(grid >= 1.0)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(SimulationError):
+            default_token_grid(0)
+        with pytest.raises(SimulationError):
+            default_token_grid(10, num_points=1)
+        with pytest.raises(SimulationError):
+            default_token_grid(10, low_fraction=0.9, high_fraction=0.5)
+
+
+class TestSweep:
+    def test_sweep_marks_observed_point(self, over_allocated_skyline):
+        grid = np.array([50.0, 100.0])
+        obs = sweep_token_grid(over_allocated_skyline, grid, observed_tokens=100)
+        assert obs[1].source == "observed"
+        assert obs[0].source == "simulated"
+
+    def test_sweep_without_observed(self, over_allocated_skyline):
+        grid = np.array([50.0, 100.0])
+        obs = sweep_token_grid(over_allocated_skyline, grid)
+        assert all(o.source == "simulated" for o in obs)
+
+    def test_sweep_monotone_runtimes(self, peaky_skyline):
+        grid = default_token_grid(peaky_skyline.peak, num_points=6)
+        obs = sweep_token_grid(peaky_skyline, grid)
+        runtimes = [o.runtime for o in obs]
+        assert all(a >= b for a, b in zip(runtimes, runtimes[1:]))

@@ -1,0 +1,108 @@
+"""Unit tests for the AREPAS simulator (Algorithm 1, Figures 6-8)."""
+
+import numpy as np
+import pytest
+
+from repro.arepas import AREPAS, simulate_runtime, simulate_skyline
+from repro.exceptions import SimulationError
+from repro.skyline import Skyline
+
+
+@pytest.fixture()
+def figure6_skyline():
+    """The toy skyline of Figures 6/7: a tall burst within a low profile."""
+    return Skyline.from_segments([(4, 2), (6, 7), (10, 2)])
+
+
+class TestBasicBehaviour:
+    def test_allocation_at_peak_is_identity(self, figure6_skyline):
+        result = AREPAS().simulate(figure6_skyline, figure6_skyline.peak)
+        assert result.skyline == figure6_skyline
+        assert result.slowdown == 0.0
+
+    def test_allocation_above_peak_is_identity(self, figure6_skyline):
+        result = AREPAS().simulate(figure6_skyline, 100)
+        assert result.skyline == figure6_skyline
+
+    def test_rejects_nonpositive_allocation(self, figure6_skyline):
+        with pytest.raises(SimulationError):
+            AREPAS().simulate(figure6_skyline, 0)
+
+    def test_area_preserved_exactly(self, figure6_skyline):
+        for allocation in (6, 5, 4, 3, 2, 1):
+            simulated = simulate_skyline(figure6_skyline, allocation)
+            assert simulated.area == pytest.approx(figure6_skyline.area)
+
+    def test_runtime_never_decreases_with_fewer_tokens(self, figure6_skyline):
+        runtimes = [
+            simulate_runtime(figure6_skyline, a) for a in (7, 6, 5, 4, 3, 2, 1)
+        ]
+        assert all(b >= a for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_simulated_peak_within_allocation(self, figure6_skyline):
+        simulated = simulate_skyline(figure6_skyline, 3)
+        assert simulated.peak <= 3.0 + 1e-12
+
+    def test_deterministic(self, figure6_skyline):
+        first = simulate_skyline(figure6_skyline, 3)
+        second = simulate_skyline(figure6_skyline, 3)
+        assert first == second
+
+
+class TestSectionHandling:
+    def test_under_sections_copied_unchanged(self, figure6_skyline):
+        """Figure 6: sections below the allocation keep their shape."""
+        simulated = simulate_skyline(figure6_skyline, 3)
+        # Leading 4 seconds at 2 tokens are below the threshold -> copied.
+        assert list(simulated.usage[:4]) == [2, 2, 2, 2]
+        # Trailing 10 seconds at 2 tokens are copied at the end.
+        assert list(simulated.usage[-10:]) == [2] * 10
+
+    def test_over_section_stretched(self, figure6_skyline):
+        """Figure 7: the burst area 42 at threshold 3 takes 14 seconds."""
+        result = AREPAS().simulate(figure6_skyline, 3)
+        assert result.sections_redistributed == 1
+        assert result.sections_copied == 2
+        middle = result.skyline.usage[4:-10]
+        assert middle.size == 14
+        assert np.all(middle == 3.0)
+
+    def test_paper_figure7_doubling(self):
+        """Halving-ish the tokens of a flat-top burst doubles its length."""
+        sky = Skyline.from_segments([(10, 6)])
+        simulated = simulate_skyline(sky, 3)
+        assert simulated.duration == 20
+        assert np.all(simulated.usage == 3.0)
+
+    def test_remainder_second(self):
+        """Area that doesn't divide evenly spills into a shorter second."""
+        sky = Skyline.from_segments([(5, 7)])  # area 35, threshold 3
+        simulated = simulate_skyline(sky, 3)
+        assert simulated.duration == 12  # 11 full seconds + remainder 2
+        assert simulated.usage[-1] == pytest.approx(2.0)
+        assert simulated.area == pytest.approx(35.0)
+
+    def test_approximate_mode_truncates(self):
+        sky = Skyline.from_segments([(5, 7)])
+        sim = AREPAS(preserve_area_exactly=False)
+        result = sim.simulate(sky, 3)
+        assert result.simulated_runtime == 11  # int(35 / 3)
+        assert np.all(result.skyline.usage == 3.0)
+
+
+class TestPeakyVersusFlat:
+    def test_peaky_tolerates_reduction_better(self, peaky_skyline, flat_skyline):
+        """Figure 8: peaky jobs lose less performance when squeezed."""
+        sim = AREPAS()
+
+        def relative_slowdown(sky):
+            allocation = 0.5 * sky.peak
+            return sim.simulate(sky, allocation).slowdown
+
+        assert relative_slowdown(peaky_skyline) < relative_slowdown(flat_skyline)
+
+    def test_sweep_returns_one_result_per_allocation(self, peaky_skyline):
+        results = AREPAS().sweep(peaky_skyline, [80.0, 40.0, 20.0])
+        assert [r.allocation for r in results] == [80.0, 40.0, 20.0]
+        assert all(r.skyline.area == pytest.approx(peaky_skyline.area)
+                   for r in results)

@@ -1,0 +1,128 @@
+"""Unit tests for AREPAS validation metrics (Figures 12-13, Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.arepas import (
+    area_pair_differences,
+    count_outlier_executions,
+    error_summary,
+    match_fraction_curve,
+    simulation_errors,
+)
+from repro.arepas.validation import JobSimulationError
+from repro.exceptions import SimulationError
+from repro.skyline import Skyline
+
+
+def _sky(area, length=10):
+    return Skyline(np.full(length, area / length))
+
+
+class TestAreaPairDifferences:
+    def test_identical_executions(self):
+        diffs = area_pair_differences([_sky(100), _sky(100)])
+        assert diffs == [0.0]
+
+    def test_percentage_relative_to_smaller(self):
+        diffs = area_pair_differences([_sky(100), _sky(130)])
+        assert diffs[0] == pytest.approx(30.0)
+
+    def test_pair_count(self):
+        skylines = [_sky(100), _sky(110), _sky(120), _sky(130)]
+        assert len(area_pair_differences(skylines)) == 6  # C(4, 2)
+
+    def test_needs_two_executions(self):
+        with pytest.raises(SimulationError):
+            area_pair_differences([_sky(100)])
+
+
+class TestMatchFractionCurve:
+    def test_cdf_monotone_in_tolerance(self):
+        jobs = [[_sky(100), _sky(105)], [_sky(100), _sky(160)]]
+        curve = match_fraction_curve(jobs, np.array([1.0, 10.0, 100.0]))
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[-1] == 1.0
+
+    def test_values(self):
+        jobs = [[_sky(100), _sky(120)]]
+        curve = match_fraction_curve(jobs, np.array([10.0, 30.0]))
+        assert list(curve) == [0.0, 1.0]
+
+    def test_single_execution_jobs_skipped(self):
+        jobs = [[_sky(100)], [_sky(100), _sky(100)]]
+        curve = match_fraction_curve(jobs, np.array([5.0]))
+        assert curve[0] == 1.0
+
+    def test_no_pairs_raises(self):
+        with pytest.raises(SimulationError):
+            match_fraction_curve([[_sky(100)]], np.array([5.0]))
+
+
+class TestOutlierCounting:
+    def test_no_outliers(self):
+        assert count_outlier_executions([_sky(100), _sky(101)], 30) == 0
+
+    def test_one_outlier(self):
+        skylines = [_sky(100), _sky(100), _sky(100), _sky(200)]
+        assert count_outlier_executions(skylines, 30) == 1
+
+    def test_tolerance_matters(self):
+        skylines = [_sky(100), _sky(100), _sky(120)]
+        assert count_outlier_executions(skylines, 30) == 0
+        assert count_outlier_executions(skylines, 10) == 1
+
+    def test_single_execution_has_no_outliers(self):
+        assert count_outlier_executions([_sky(100)], 30) == 0
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(SimulationError):
+            count_outlier_executions([_sky(1), _sky(1)], 0)
+
+
+class TestSimulationErrors:
+    def test_perfect_prediction_for_area_preserving_job(self):
+        """A flat job squeezed to half tokens doubles — AREPAS is exact."""
+        reference = Skyline(np.full(10, 8.0))
+        flights = [("j1", reference, 8.0, [(4.0, 20.0)])]
+        errors = simulation_errors(flights)
+        assert errors[0].median_error == pytest.approx(0.0)
+
+    def test_error_magnitude(self):
+        reference = Skyline(np.full(10, 8.0))
+        # True runtime 25 vs simulated 20 -> 20% error.
+        flights = [("j1", reference, 8.0, [(4.0, 25.0)])]
+        errors = simulation_errors(flights)
+        assert errors[0].median_error == pytest.approx(20.0)
+
+    def test_jobs_without_targets_skipped(self):
+        reference = Skyline(np.full(10, 8.0))
+        errors = simulation_errors([("j1", reference, 8.0, [])])
+        assert errors == []
+
+    def test_rejects_bad_reference_tokens(self):
+        reference = Skyline(np.full(10, 8.0))
+        with pytest.raises(SimulationError):
+            simulation_errors([("j1", reference, 0.0, [(4.0, 20.0)])])
+
+    def test_rejects_bad_true_runtime(self):
+        reference = Skyline(np.full(10, 8.0))
+        with pytest.raises(SimulationError):
+            simulation_errors([("j1", reference, 8.0, [(4.0, 0.0)])])
+
+
+class TestErrorSummary:
+    def test_summary_fields(self):
+        errors = [
+            JobSimulationError("a", (10.0, 20.0)),
+            JobSimulationError("b", (5.0,)),
+        ]
+        summary = error_summary(errors)
+        assert summary["jobs"] == 2
+        assert summary["median_ape"] == pytest.approx(10.0)
+        assert summary["mean_ape"] == pytest.approx(10.0)
+        assert summary["worst"] == pytest.approx(15.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            error_summary([])

@@ -1,0 +1,82 @@
+"""Unit tests for feature/target scalers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeaturizationError, NotFittedError
+from repro.features import StandardScaler, TargetScaler, log1p_continuous
+
+
+class TestLog1p:
+    def test_transform(self):
+        assert log1p_continuous(np.array([0.0]))[0] == 0.0
+        assert log1p_continuous(np.array([np.e - 1]))[0] == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(FeaturizationError):
+            log1p_continuous(np.array([-1.0]))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        matrix = rng.normal(5, 3, size=(200, 4))
+        scaled = StandardScaler().fit_transform(matrix)
+        assert np.allclose(scaled.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_columns_no_nan(self):
+        matrix = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(matrix)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_roundtrip(self, rng):
+        matrix = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(matrix)
+        restored = scaler.inverse_transform(scaler.transform(matrix))
+        assert np.allclose(restored, matrix)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(FeaturizationError):
+            StandardScaler().fit(np.ones(5))
+
+    def test_train_statistics_applied_to_test(self, rng):
+        train = rng.normal(0, 1, size=(100, 2))
+        test = rng.normal(10, 1, size=(100, 2))
+        scaler = StandardScaler().fit(train)
+        scaled_test = scaler.transform(test)
+        # Test data scaled by train stats keeps its offset.
+        assert scaled_test.mean() > 5
+
+
+class TestTargetScaler:
+    def test_balances_magnitudes(self):
+        targets = np.column_stack([np.full(10, -0.5), np.full(10, 8.0)])
+        scaled = TargetScaler().fit_transform(targets)
+        assert np.allclose(np.abs(scaled).mean(axis=0), 1.0)
+
+    def test_roundtrip(self, rng):
+        targets = rng.normal(size=(30, 2))
+        scaler = TargetScaler().fit(targets)
+        assert np.allclose(
+            scaler.inverse_transform(scaler.transform(targets)), targets
+        )
+
+    def test_preserves_signs(self):
+        targets = np.array([[-1.0, 2.0], [-3.0, 4.0]])
+        scaled = TargetScaler().fit_transform(targets)
+        assert np.all(scaled[:, 0] < 0)
+        assert np.all(scaled[:, 1] > 0)
+
+    def test_zero_column_safe(self):
+        targets = np.zeros((5, 2))
+        scaled = TargetScaler().fit_transform(targets)
+        assert np.all(np.isfinite(scaled))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            TargetScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,115 @@
+"""Targeted tests for the Section 5 evaluation machinery using stub models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models import evaluate_model, evaluation_table
+from repro.models.base import PCCPredictor
+from repro.models.dataset import PCCDataset
+
+
+class _StubParametricModel(PCCPredictor):
+    """Returns fixed parameters; lets us test the metrics in isolation."""
+
+    name = "Stub"
+
+    def __init__(self, parameters: np.ndarray) -> None:
+        super().__init__()
+        self._parameters = parameters
+        self._fitted = True
+
+    def fit(self, dataset):
+        return self
+
+    def predict_parameters(self, dataset):
+        return self._parameters
+
+    def predict_runtime_at(self, dataset, tokens):
+        tokens = np.asarray(tokens, dtype=float)
+        return np.exp(
+            self._parameters[:, 1] + self._parameters[:, 0] * np.log(tokens)
+        )
+
+    def predict_curves(self, dataset, grids):
+        return [
+            np.exp(log_b + a * np.log(np.asarray(grid, dtype=float)))
+            for (a, log_b), grid in zip(self._parameters, grids)
+        ]
+
+
+@pytest.fixture(scope="module")
+def small_dataset(dataset):
+    return PCCDataset(examples=dataset.examples[:10])
+
+
+class TestEvaluateModel:
+    def test_perfect_model_scores_zero(self, small_dataset):
+        """Feeding the targets back gives 0 MAE and 100% pattern."""
+        targets = small_dataset.target_matrix()
+        stub = _StubParametricModel(targets)
+        evaluation = evaluate_model(stub, small_dataset)
+        assert evaluation.curve_param_mae == pytest.approx(0.0)
+        assert evaluation.pattern_non_increasing == 1.0
+
+    def test_runtime_metric_uses_reference_tokens(self, small_dataset):
+        targets = small_dataset.target_matrix()
+        stub = _StubParametricModel(targets)
+        evaluation = evaluate_model(stub, small_dataset)
+        # The target PCC was fitted through the observed point with high
+        # weight, so its runtime at the reference is close to observed.
+        assert evaluation.runtime_median_ape < 50.0
+
+    def test_pattern_counts_increasing_curves(self, small_dataset):
+        targets = small_dataset.target_matrix().copy()
+        targets[0, 0] = +0.5  # one increasing curve
+        stub = _StubParametricModel(targets)
+        evaluation = evaluate_model(stub, small_dataset)
+        assert evaluation.pattern_non_increasing == pytest.approx(
+            (len(small_dataset) - 1) / len(small_dataset)
+        )
+
+    def test_scaled_mae_interpretation(self, small_dataset):
+        """Perturbing each parameter by its mean magnitude gives MAE 1."""
+        targets = small_dataset.target_matrix()
+        scale = np.abs(targets).mean(axis=0)
+        stub = _StubParametricModel(targets + scale)
+        evaluation = evaluate_model(stub, small_dataset)
+        assert evaluation.curve_param_mae == pytest.approx(1.0)
+
+    def test_custom_truth_changes_runtime_metric_only(self, small_dataset):
+        targets = small_dataset.target_matrix()
+        stub = _StubParametricModel(targets)
+        base = evaluate_model(stub, small_dataset)
+        doubled = evaluate_model(
+            stub,
+            small_dataset,
+            true_runtimes=small_dataset.observed_runtimes() * 2.0,
+        )
+        assert doubled.curve_param_mae == base.curve_param_mae
+        assert doubled.runtime_median_ape != base.runtime_median_ape
+
+    def test_empty_dataset_rejected(self, small_dataset):
+        stub = _StubParametricModel(small_dataset.target_matrix())
+        with pytest.raises(ModelError):
+            evaluate_model(stub, PCCDataset())
+
+
+class TestEvaluationTable:
+    def test_renders_na_for_nonparametric(self, small_dataset):
+        from repro.models.evaluation import ModelEvaluation
+
+        rows = [
+            ModelEvaluation(
+                model="NP", pattern_non_increasing=0.4,
+                curve_param_mae=None, runtime_median_ape=13.0,
+            ),
+            ModelEvaluation(
+                model="P", pattern_non_increasing=1.0,
+                curve_param_mae=0.08, runtime_median_ape=22.0,
+            ),
+        ]
+        table = evaluation_table(rows)
+        assert "NA" in table
+        assert "0.080" in table
+        assert "40%" in table and "100%" in table

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event cluster executor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.scope import (
+    ClusterExecutor,
+    CostModel,
+    OperatorNode,
+    QueryPlan,
+    decompose_stages,
+)
+from repro.scope.execution import _intervals_to_skyline
+
+
+def _simple_graph(partitions=8, cost=1000.0):
+    nodes = {
+        0: OperatorNode(op_id=0, kind="Extract", cost_exclusive=cost,
+                        true_cost=cost, num_partitions=partitions),
+        1: OperatorNode(op_id=1, kind="Output", children=(0,),
+                        cost_exclusive=cost / 10, true_cost=cost / 10,
+                        num_partitions=partitions),
+    }
+    return decompose_stages(QueryPlan(job_id="simple", nodes=nodes))
+
+
+class TestExecutor:
+    def test_rejects_zero_tokens(self):
+        with pytest.raises(ExecutionError):
+            ClusterExecutor().execute(_simple_graph(), 0)
+
+    def test_noise_requires_rng(self):
+        executor = ClusterExecutor(noise_scale=0.1)
+        with pytest.raises(ExecutionError):
+            executor.execute(_simple_graph(), 4)
+
+    def test_deterministic_without_noise(self):
+        executor = ClusterExecutor()
+        first = executor.execute(_simple_graph(), 4)
+        second = executor.execute(_simple_graph(), 4)
+        assert first.skyline == second.skyline
+
+    def test_usage_never_exceeds_allocation(self):
+        executor = ClusterExecutor()
+        result = executor.execute(_simple_graph(partitions=32), 5)
+        assert result.skyline.peak <= 5.0 + 1e-9
+
+    def test_more_tokens_never_slower(self):
+        executor = ClusterExecutor()
+        graph = _simple_graph(partitions=32, cost=50_000.0)
+        runtimes = [executor.execute(graph, t).makespan for t in (2, 4, 8, 16, 32)]
+        assert all(a >= b - 1e-9 for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_amdahl_floor(self):
+        """Beyond the parallelism limit, extra tokens stop helping."""
+        executor = ClusterExecutor()
+        graph = _simple_graph(partitions=8)
+        at_parallelism = executor.execute(graph, 8).makespan
+        beyond = executor.execute(graph, 64).makespan
+        assert beyond == pytest.approx(at_parallelism)
+
+    def test_all_stages_finish(self):
+        executor = ClusterExecutor()
+        graph = _simple_graph()
+        result = executor.execute(graph, 4)
+        assert set(result.stage_finish_times) == set(graph.stages)
+        assert result.makespan == pytest.approx(
+            max(result.stage_finish_times.values())
+        )
+
+    def test_work_is_conserved(self):
+        """Skyline area equals the total task-seconds of the job."""
+        executor = ClusterExecutor(cost_model=CostModel(
+            seconds_per_cost_unit=1e-3, startup_seconds=1.0))
+        graph = _simple_graph(partitions=4, cost=10_000.0)
+        result = executor.execute(graph, 2)
+        expected = sum(
+            s.num_tasks * s.task_duration(executor.cost_model)
+            for s in graph.stages.values()
+        )
+        assert result.skyline.area == pytest.approx(expected, rel=1e-6)
+
+    def test_noise_changes_replicas(self):
+        executor = ClusterExecutor(noise_scale=0.2)
+        graph = _simple_graph()
+        a = executor.execute(graph, 4, rng=np.random.default_rng(1))
+        b = executor.execute(graph, 4, rng=np.random.default_rng(2))
+        assert a.skyline != b.skyline
+
+    def test_straggler_lengthens_runtime(self):
+        graph = _simple_graph(partitions=16, cost=50_000.0)
+        clean = ClusterExecutor().execute(graph, 16).makespan
+        noisy = ClusterExecutor(
+            straggler_rate=0.5, straggler_factor=4.0
+        ).execute(graph, 16, rng=np.random.default_rng(0)).makespan
+        assert noisy > clean
+
+    def test_invalid_config(self):
+        with pytest.raises(ExecutionError):
+            ClusterExecutor(noise_scale=-1)
+        with pytest.raises(ExecutionError):
+            ClusterExecutor(straggler_rate=1.5)
+        with pytest.raises(ExecutionError):
+            ClusterExecutor(straggler_factor=0.5)
+
+
+class TestIntervalsToSkyline:
+    def test_single_task(self):
+        sky = _intervals_to_skyline(
+            np.array([0.0]), np.array([3.0]), makespan=3.0
+        )
+        assert list(sky.usage) == [1, 1, 1]
+
+    def test_fractional_coverage(self):
+        sky = _intervals_to_skyline(
+            np.array([0.5]), np.array([1.5]), makespan=1.5
+        )
+        assert sky.usage[0] == pytest.approx(0.5)
+        assert sky.usage[1] == pytest.approx(0.5)
+
+    def test_overlapping_tasks(self):
+        sky = _intervals_to_skyline(
+            np.array([0.0, 0.0, 1.0]),
+            np.array([2.0, 1.0, 2.0]),
+            makespan=2.0,
+        )
+        assert list(sky.usage) == [2, 2]
+
+    def test_area_equals_total_duration(self):
+        rng = np.random.default_rng(3)
+        starts = rng.uniform(0, 50, 200)
+        ends = starts + rng.uniform(0.1, 10, 200)
+        sky = _intervals_to_skyline(starts, ends, makespan=float(ends.max()))
+        assert sky.area == pytest.approx((ends - starts).sum(), rel=1e-9)

@@ -1,0 +1,93 @@
+"""Unit tests for PCC explanation rendering."""
+
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.pcc import PowerLawPCC
+from repro.tasq import TokenRecommendation, explain_recommendation, render_pcc_chart
+
+
+@pytest.fixture()
+def recommendation():
+    pcc = PowerLawPCC(a=-0.7, b=4000.0)
+    return TokenRecommendation(
+        job_id="job-x",
+        pcc=pcc,
+        requested_tokens=120,
+        optimal_tokens=45,
+        predicted_runtime_at_requested=float(pcc.runtime(120)),
+        predicted_runtime_at_optimal=float(pcc.runtime(45)),
+    )
+
+
+class TestRenderChart:
+    def test_dimensions(self):
+        chart = render_pcc_chart(
+            PowerLawPCC(a=-1, b=100), max_tokens=50, width=40, height=10
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 12  # height rows + axis + labels
+        assert all("|" in line for line in lines[:10])
+
+    def test_curve_is_visually_decreasing(self):
+        chart = render_pcc_chart(
+            PowerLawPCC(a=-1, b=100), max_tokens=50, width=30, height=8
+        )
+        lines = chart.splitlines()[:8]
+        # First column's star is in the top row; last column's near bottom.
+        assert "*" in lines[0]
+        first_star_col = lines[0].index("*")
+        last_rows = [i for i, line in enumerate(lines) if "*" in line]
+        assert max(last_rows) > 0
+        assert first_star_col < len(lines[0]) - 1
+
+    def test_marks_placed(self):
+        chart = render_pcc_chart(
+            PowerLawPCC(a=-0.5, b=500),
+            max_tokens=100,
+            marks={"O": 30.0, "R": 100.0},
+        )
+        assert "O" in chart
+        assert "R" in chart
+
+    def test_axis_labels(self):
+        chart = render_pcc_chart(PowerLawPCC(a=-1, b=100), max_tokens=50)
+        assert "tokens (log scale)" in chart
+        assert "s |" in chart
+
+    def test_flat_curve_no_crash(self):
+        chart = render_pcc_chart(PowerLawPCC(a=0.0, b=100), max_tokens=50)
+        assert "*" in chart
+
+    def test_invalid_args(self):
+        with pytest.raises(PipelineError):
+            render_pcc_chart(PowerLawPCC(a=-1, b=10), max_tokens=1,
+                             min_tokens=5)
+        with pytest.raises(PipelineError):
+            render_pcc_chart(PowerLawPCC(a=-1, b=10), max_tokens=50, width=2)
+
+
+class TestExplanation:
+    def test_contains_key_facts(self, recommendation):
+        text = explain_recommendation(recommendation)
+        assert "job-x" in text
+        assert "tokens^-0.700" in text
+        assert "45 tokens" in text
+        assert "monotonically non-increasing" in text
+        assert "O" in text and "R" in text  # operating points on the chart
+
+    def test_steepness_wording(self):
+        def rec_with(a):
+            pcc = PowerLawPCC(a=a, b=1000.0)
+            return TokenRecommendation(
+                job_id="j",
+                pcc=pcc,
+                requested_tokens=100,
+                optimal_tokens=50,
+                predicted_runtime_at_requested=float(pcc.runtime(100)),
+                predicted_runtime_at_optimal=float(pcc.runtime(50)),
+            )
+
+        assert "highly parallel" in explain_recommendation(rec_with(-0.95))
+        assert "moderately parallel" in explain_recommendation(rec_with(-0.5))
+        assert "mostly serial" in explain_recommendation(rec_with(-0.05))

@@ -1,0 +1,135 @@
+"""Unit tests for the flighting harness and flighted dataset."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FlightingError
+from repro.flighting import (
+    FlightHarness,
+    build_flighted_dataset,
+    evaluate_on_flighted,
+    workload_savings,
+)
+from repro.models import NNPCCModel, TrainConfig
+
+
+class TestFlightHarness:
+    def test_flights_cover_levels_and_replicas(self, repository):
+        record = repository.records()[0]
+        harness = FlightHarness(seed=1, replicas=2,
+                                token_fractions=(1.0, 0.5))
+        flights = harness.flight_job(record)
+        assert len(flights) == 4
+        levels = {f.tokens for f in flights}
+        assert levels == {
+            record.requested_tokens,
+            max(1, round(0.5 * record.requested_tokens)),
+        }
+
+    def test_replicas_differ(self, repository):
+        record = repository.records()[0]
+        harness = FlightHarness(seed=1, replicas=2, anomaly_rate=0.0)
+        flights = harness.flight_job(record)
+        by_level = {}
+        for f in flights:
+            by_level.setdefault(f.tokens, []).append(f)
+        for group in by_level.values():
+            assert group[0].skyline != group[1].skyline
+
+    def test_deterministic_per_seed(self, repository):
+        record = repository.records()[0]
+        a = FlightHarness(seed=9).flight_job(record)
+        b = FlightHarness(seed=9).flight_job(record)
+        assert all(x.skyline == y.skyline for x, y in zip(a, b))
+
+    def test_invalid_config(self):
+        with pytest.raises(FlightingError):
+            FlightHarness(replicas=0)
+        with pytest.raises(FlightingError):
+            FlightHarness(anomaly_rate=0.9)
+        with pytest.raises(FlightingError):
+            FlightHarness(token_fractions=(1.5,))
+
+    def test_empty_workload_raises(self):
+        with pytest.raises(FlightingError):
+            FlightHarness().flight_workload([])
+
+
+class TestFlightedDataset:
+    def test_jobs_survive_filters(self, flighted):
+        assert len(flighted) > 0
+        assert flighted.num_flights > 0
+
+    def test_job_views(self, flighted):
+        job = flighted.jobs[0]
+        by_tokens = job.runtime_by_tokens()
+        assert set(by_tokens) == set(job.token_levels)
+        assert job.reference_tokens == max(job.token_levels)
+        assert job.reference_runtime() == by_tokens[job.reference_tokens]
+        assert job.reference_skyline().duration > 0
+
+    def test_ground_truth_pcc_decreasing(self, flighted):
+        for job in flighted.jobs:
+            pcc = job.ground_truth_pcc()
+            # Filters enforce monotone-with-tolerance runtimes, so the
+            # fitted exponent is non-positive up to noise.
+            assert pcc.a <= 0.15
+
+    def test_arepas_inputs_shape(self, flighted):
+        inputs = flighted.arepas_inputs()
+        assert len(inputs) == len(flighted)
+        for job_id, reference, tokens, targets in inputs:
+            assert tokens > 0
+            assert all(t < tokens for t, _ in targets)
+
+    def test_fully_matched_subset(self, flighted):
+        subset = flighted.fully_matched(tolerance=30.0)
+        assert len(subset) <= len(flighted)
+        tight = flighted.fully_matched(tolerance=5.0)
+        assert len(tight) <= len(subset)
+
+    def test_to_pcc_dataset(self, flighted):
+        dataset = flighted.to_pcc_dataset()
+        assert len(dataset) == len(flighted)
+        assert np.all(dataset.observed_runtimes() > 0)
+
+    def test_evaluation_pairs_aligned(self, flighted):
+        idx, tokens, runtimes = flighted.evaluation_pairs()
+        assert idx.shape == tokens.shape == runtimes.shape
+        assert idx.max() == len(flighted) - 1
+        expected = sum(len(j.token_levels) for j in flighted.jobs)
+        assert idx.size == expected
+
+    def test_empty_records_raise(self):
+        with pytest.raises(FlightingError):
+            build_flighted_dataset([])
+
+
+class TestFlightedEvaluation:
+    @pytest.fixture(scope="class")
+    def nn(self, dataset):
+        return NNPCCModel(train_config=TrainConfig(epochs=20), seed=1).fit(dataset)
+
+    def test_table8_row(self, nn, flighted):
+        evaluation = evaluate_on_flighted(nn, flighted)
+        assert evaluation.pattern_non_increasing == 1.0
+        assert evaluation.curve_param_mae is not None
+        assert evaluation.runtime_median_ape > 0
+
+    def test_workload_savings_structure(self, flighted, nn):
+        w1, w2 = workload_savings(flighted, nn)
+        assert w1.name == "W1" and w2.name == "W2"
+        # Using fewer-than-largest tokens must save tokens and cost time.
+        assert 0 < w1.token_savings < 1
+        assert 0 <= w2.token_savings < 1
+        assert w1.slowdown >= -0.05  # noise can make it mildly negative
+        assert w1.predicted_slowdown is not None
+
+    def test_workload_savings_without_model(self, flighted):
+        w1, w2 = workload_savings(flighted)
+        assert w1.predicted_slowdown is None
+
+    def test_w1_w2_relationship(self, flighted):
+        """W1 includes the deep 20% cuts, so it saves more and slows more."""
+        w1, w2 = workload_savings(flighted)
+        assert w1.token_savings >= w2.token_savings - 0.05

@@ -1,0 +1,192 @@
+"""Unit tests for the gradient-boosting stand-in (trees + booster)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.gbm import (
+    BinMapper,
+    BoosterParams,
+    GammaDeviance,
+    GradientBoostingRegressor,
+    RegressionTree,
+    SquaredError,
+    TreeParams,
+)
+
+
+class TestBinMapper:
+    def test_bins_monotone_with_values(self, rng):
+        values = rng.uniform(0, 100, size=(500, 1))
+        mapper = BinMapper(max_bins=16)
+        binned = mapper.fit_transform(values)
+        order = np.argsort(values[:, 0])
+        assert np.all(np.diff(binned[order, 0].astype(int)) >= 0)
+        assert binned.max() < 16
+
+    def test_low_cardinality_column_gets_exact_bins(self):
+        values = np.array([[0.0], [1.0], [2.0], [1.0]])
+        mapper = BinMapper(max_bins=64)
+        binned = mapper.fit_transform(values)
+        assert len(np.unique(binned)) == 3
+
+    def test_constant_column(self):
+        values = np.full((10, 1), 7.0)
+        binned = BinMapper().fit_transform(values)
+        assert np.all(binned == 0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(ModelError):
+            BinMapper().transform(np.ones((2, 2)))
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ModelError):
+            BinMapper(max_bins=1)
+
+    def test_unseen_values_clamp_to_edges(self, rng):
+        train = rng.uniform(0, 1, size=(100, 1))
+        mapper = BinMapper(max_bins=8).fit(train)
+        out = mapper.transform(np.array([[-5.0], [5.0]]))
+        assert out[0, 0] == 0
+        assert out[1, 0] == out.max()
+
+
+class TestObjectives:
+    def test_squared_error_gradients(self):
+        obj = SquaredError()
+        grad, hess = obj.gradients(np.array([1.0, 2.0]), np.array([3.0, 1.0]))
+        assert list(grad) == [2.0, -1.0]
+        assert list(hess) == [1.0, 1.0]
+
+    def test_gamma_gradient_zero_at_optimum(self):
+        obj = GammaDeviance()
+        y = np.array([10.0, 20.0])
+        raw = np.log(y)
+        grad, hess = obj.gradients(y, raw)
+        assert np.allclose(grad, 0.0)
+        assert np.allclose(hess, 1.0)
+
+    def test_gamma_rejects_nonpositive_targets(self):
+        with pytest.raises(ModelError):
+            GammaDeviance().base_score(np.array([1.0, 0.0]))
+
+    def test_gamma_predict_is_exp(self):
+        obj = GammaDeviance()
+        assert obj.predict(np.array([0.0]))[0] == pytest.approx(1.0)
+
+
+class TestRegressionTree:
+    def test_single_split_recovers_step_function(self):
+        features = np.arange(100, dtype=float).reshape(-1, 1)
+        targets = np.where(features[:, 0] < 50, 1.0, 5.0)
+        mapper = BinMapper(max_bins=32)
+        binned = mapper.fit_transform(features)
+        grad = (0.0 - targets)  # squared-error grad at raw=0
+        hess = np.ones(100)
+        tree = RegressionTree(TreeParams(max_depth=1, reg_lambda=0.0))
+        tree.fit(binned, grad, hess, num_bins=32)
+        predictions = tree.predict(binned)
+        assert predictions[0] == pytest.approx(1.0)
+        assert predictions[-1] == pytest.approx(5.0)
+        assert tree.num_leaves == 2
+
+    def test_depth_zero_like_leaf_only(self):
+        binned = np.zeros((10, 1), dtype=np.uint8)
+        tree = RegressionTree(TreeParams(max_depth=1))
+        tree.fit(binned, np.ones(10), np.ones(10), num_bins=2)
+        # Constant feature: no split possible -> single leaf.
+        assert tree.num_leaves == 1
+
+    def test_min_samples_leaf_respected(self):
+        features = np.arange(10, dtype=float).reshape(-1, 1)
+        targets = np.where(features[:, 0] < 1, 100.0, 0.0)  # 1-sample split
+        binned = BinMapper(max_bins=16).fit_transform(features)
+        tree = RegressionTree(TreeParams(max_depth=3, min_samples_leaf=3))
+        tree.fit(binned, -targets, np.ones(10), num_bins=16)
+        leaves = tree.predict(binned)
+        values, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 3
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            RegressionTree(TreeParams()).predict(np.zeros((1, 1), dtype=np.uint8))
+
+
+class TestBooster:
+    def test_learns_linear_function(self, rng):
+        features = rng.uniform(0, 10, size=(1500, 4))
+        targets = 2.0 * features[:, 0] + features[:, 1] + 5.0
+        model = GradientBoostingRegressor(
+            BoosterParams(n_estimators=80, max_depth=4),
+            objective="squared_error",
+        )
+        model.fit(features, targets)
+        predictions = model.predict(features)
+        mae = np.abs(predictions - targets).mean()
+        assert mae < 0.5
+
+    def test_gamma_objective_positive_predictions(self, rng):
+        features = rng.uniform(0, 10, size=(800, 3))
+        targets = np.exp(0.3 * features[:, 0]) + 1.0
+        model = GradientBoostingRegressor(
+            BoosterParams(n_estimators=50, max_depth=3), objective="gamma"
+        )
+        model.fit(features, targets)
+        assert np.all(model.predict(features) > 0)
+
+    def test_training_loss_decreases(self, rng):
+        features = rng.uniform(0, 10, size=(500, 3))
+        targets = features[:, 0] * 3 + 10
+        model = GradientBoostingRegressor(
+            BoosterParams(n_estimators=30), objective="gamma"
+        )
+        model.fit(features, targets)
+        assert model.train_scores_[-1] < model.train_scores_[0]
+
+    def test_early_stopping(self, rng):
+        features = rng.uniform(0, 10, size=(400, 3))
+        targets = features[:, 0] + 1.0 + rng.normal(0, 0.01, 400)
+        params = BoosterParams(
+            n_estimators=300, early_stopping_rounds=5, learning_rate=0.3
+        )
+        model = GradientBoostingRegressor(params, objective="squared_error")
+        model.fit(
+            features[:300], targets[:300],
+            eval_set=(features[300:], targets[300:]),
+        )
+        assert model.num_trees < 300
+
+    def test_subsample_and_colsample(self, rng):
+        features = rng.uniform(0, 10, size=(300, 5))
+        targets = features[:, 0] + 2.0
+        model = GradientBoostingRegressor(
+            BoosterParams(n_estimators=20, subsample=0.7, colsample=0.6),
+            objective="squared_error",
+            seed=1,
+        )
+        model.fit(features, targets)
+        assert np.abs(model.predict(features) - targets).mean() < 1.0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict(np.ones((2, 2)))
+
+    def test_unknown_objective(self):
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(objective="poisson9000")
+
+    def test_deterministic_given_seed(self, rng):
+        features = rng.uniform(0, 10, size=(300, 3))
+        targets = features[:, 0] + 1.0
+        params = BoosterParams(n_estimators=10, subsample=0.8)
+        a = GradientBoostingRegressor(params, seed=5).fit(features, targets)
+        b = GradientBoostingRegressor(params, seed=5).fit(features, targets)
+        assert np.allclose(a.predict(features), b.predict(features))
+
+    def test_param_validation(self):
+        with pytest.raises(ModelError):
+            BoosterParams(n_estimators=0)
+        with pytest.raises(ModelError):
+            BoosterParams(learning_rate=0)
+        with pytest.raises(ModelError):
+            BoosterParams(subsample=0)

@@ -1,0 +1,105 @@
+"""Unit tests for the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlanError
+from repro.scope import WorkloadConfig, WorkloadGenerator
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_rejects_bad_recurring_fraction(self):
+        with pytest.raises(PlanError):
+            WorkloadConfig(recurring_fraction=1.5)
+
+    def test_rejects_zero_templates(self):
+        with pytest.raises(PlanError):
+            WorkloadConfig(num_templates=0)
+
+    def test_rejects_misaligned_token_weights(self):
+        with pytest.raises(PlanError):
+            WorkloadConfig(
+                default_token_choices=(10, 20),
+                default_token_weights=(1.0,),
+            )
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(seed=9).generate(10)
+        b = WorkloadGenerator(seed=9).generate(10)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+        assert [j.plan.num_operators for j in a] == [
+            j.plan.num_operators for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=1).generate(20)
+        b = WorkloadGenerator(seed=2).generate(20)
+        assert [j.plan.num_operators for j in a] != [
+            j.plan.num_operators for j in b
+        ]
+
+    def test_unique_job_ids(self, workload_jobs):
+        ids = [j.job_id for j in workload_jobs]
+        assert len(set(ids)) == len(ids)
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(PlanError):
+            WorkloadGenerator().generate(0)
+
+    def test_recurring_fraction_respected(self):
+        jobs = WorkloadGenerator(
+            WorkloadConfig(recurring_fraction=0.5), seed=3
+        ).generate(400)
+        fraction = np.mean([j.recurring for j in jobs])
+        assert 0.4 < fraction < 0.6
+
+    def test_all_adhoc_when_fraction_zero(self):
+        jobs = WorkloadGenerator(
+            WorkloadConfig(recurring_fraction=0.0), seed=3
+        ).generate(30)
+        assert not any(j.recurring for j in jobs)
+        templates = {j.plan.template_id for j in jobs}
+        assert len(templates) == 30  # every ad-hoc job has its own template
+
+    def test_recurring_jobs_share_templates(self):
+        jobs = WorkloadGenerator(
+            WorkloadConfig(recurring_fraction=1.0, num_templates=5), seed=3
+        ).generate(50)
+        templates = {j.plan.template_id for j in jobs}
+        assert len(templates) <= 5
+
+    def test_recurring_instances_share_structure(self):
+        jobs = WorkloadGenerator(
+            WorkloadConfig(recurring_fraction=1.0, num_templates=1), seed=3
+        ).generate(5)
+        shapes = {
+            tuple(sorted(j.plan.operator_counts().items())) for j in jobs
+        }
+        assert len(shapes) == 1  # same operators, only input sizes drift
+
+    def test_recurring_instances_vary_input_size(self):
+        jobs = WorkloadGenerator(
+            WorkloadConfig(recurring_fraction=1.0, num_templates=1), seed=3
+        ).generate(6)
+        cardinalities = {j.plan.total_input_cardinality for j in jobs}
+        assert len(cardinalities) > 1
+
+    def test_requested_tokens_from_choices(self, workload_jobs):
+        choices = set(WorkloadConfig().default_token_choices)
+        assert all(j.requested_tokens in choices for j in workload_jobs)
+
+    def test_submit_days_spread(self):
+        jobs = WorkloadGenerator(seed=5).generate(2000)
+        days = {j.submit_day for j in jobs}
+        assert len(days) == 2
+
+    def test_right_skewed_sizes(self):
+        """Plan total costs span orders of magnitude (heavy tail)."""
+        jobs = WorkloadGenerator(seed=5).generate(200)
+        costs = np.array([j.plan.total_cost for j in jobs])
+        assert costs.max() / np.median(costs) > 10

@@ -1,0 +1,136 @@
+"""Unit tests for the GNN building blocks (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.features import GraphSample, normalized_adjacency
+from repro.ml import (
+    AttentionPooling,
+    GNNEncoder,
+    GraphConvolution,
+    Tensor,
+    pad_graph_batch,
+)
+
+
+def _sample(num_nodes, feature_dim=6, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(num_nodes, feature_dim))
+    adjacency = np.zeros((num_nodes, num_nodes))
+    for i in range(num_nodes - 1):
+        adjacency[i, i + 1] = 1.0
+    return GraphSample(
+        node_features=features, adjacency=normalized_adjacency(adjacency)
+    )
+
+
+class TestPadding:
+    def test_pads_to_largest(self):
+        batch = pad_graph_batch([_sample(3), _sample(5)])
+        assert batch.node_features.shape == (2, 5, 6)
+        assert batch.adjacency.shape == (2, 5, 5)
+        assert batch.node_mask.sum() == 8.0
+        assert np.all(batch.node_features[0, 3:] == 0)
+
+    def test_mask_marks_real_nodes(self):
+        batch = pad_graph_batch([_sample(2), _sample(4)])
+        assert list(batch.node_mask[0]) == [1, 1, 0, 0]
+        assert list(batch.node_mask[1]) == [1, 1, 1, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            pad_graph_batch([])
+
+    def test_rejects_mixed_widths(self):
+        with pytest.raises(ModelError):
+            pad_graph_batch([_sample(3, feature_dim=4), _sample(3, feature_dim=6)])
+
+
+class TestGraphConvolution:
+    def test_output_shape(self, rng):
+        layer = GraphConvolution(6, 10, rng)
+        batch = pad_graph_batch([_sample(4), _sample(4)])
+        out = layer.forward_graph(
+            Tensor(batch.node_features), Tensor(batch.adjacency)
+        )
+        assert out.shape == (2, 4, 10)
+
+    def test_aggregates_neighbours(self, rng):
+        """A node's output depends on its neighbours, not only itself."""
+        layer = GraphConvolution(6, 10, rng)
+        sample = _sample(3)
+        modified = sample.node_features.copy()
+        modified[0] += 10.0  # perturb node 0
+        out_base = layer.forward_graph(
+            Tensor(sample.node_features[None]), Tensor(sample.adjacency[None])
+        ).numpy()
+        out_mod = layer.forward_graph(
+            Tensor(modified[None]), Tensor(sample.adjacency[None])
+        ).numpy()
+        # Node 1 (neighbour of node 0) changes even though its own features
+        # did not.
+        assert not np.allclose(out_base[0, 1], out_mod[0, 1])
+
+
+class TestAttentionPooling:
+    def test_output_shape(self, rng):
+        pooling = AttentionPooling(8, rng)
+        states = Tensor(rng.normal(size=(3, 5, 8)))
+        mask = np.ones((3, 5))
+        out = pooling.forward_graph(states, mask)
+        assert out.shape == (3, 8)
+
+    def test_padding_excluded(self, rng):
+        """Padding nodes must not influence the graph embedding."""
+        pooling = AttentionPooling(4, rng)
+        real = rng.normal(size=(1, 3, 4))
+        padded = np.concatenate([real, 1000 * np.ones((1, 2, 4))], axis=1)
+        mask_real = np.ones((1, 3))
+        mask_padded = np.concatenate([np.ones((1, 3)), np.zeros((1, 2))], axis=1)
+        out_real = pooling.forward_graph(Tensor(real), mask_real).numpy()
+        out_padded = pooling.forward_graph(Tensor(padded), mask_padded).numpy()
+        assert np.allclose(out_real, out_padded)
+
+    def test_rejects_empty_graph(self, rng):
+        pooling = AttentionPooling(4, rng)
+        states = Tensor(np.ones((1, 2, 4)))
+        with pytest.raises(ModelError):
+            pooling.forward_graph(states, np.zeros((1, 2)))
+
+
+class TestGNNEncoder:
+    def test_encode_shape(self, rng):
+        encoder = GNNEncoder(6, (12, 8), rng)
+        batch = pad_graph_batch([_sample(3), _sample(7)])
+        out = encoder.encode(batch)
+        assert out.shape == (2, 8)
+        assert encoder.output_dim == 8
+
+    def test_parameters_collected(self, rng):
+        encoder = GNNEncoder(6, (12, 8), rng)
+        count = sum(p.data.size for p in encoder.parameters())
+        expected = (6 * 12 + 12) + (12 * 8 + 8) + 8 * 8
+        assert count == expected
+
+    def test_gradients_reach_all_parameters(self, rng):
+        encoder = GNNEncoder(6, (5,), rng)
+        batch = pad_graph_batch([_sample(4)])
+        loss = encoder.encode(batch).abs().sum()
+        loss.backward()
+        for p in encoder.parameters():
+            assert p.grad is not None
+            assert np.any(p.grad != 0)
+
+    def test_needs_layers(self, rng):
+        with pytest.raises(ModelError):
+            GNNEncoder(6, (), rng)
+
+    def test_permutation_consistency(self, rng):
+        """Graphs in a batch are encoded independently."""
+        encoder = GNNEncoder(6, (10,), rng)
+        a, b = _sample(4, seed=1), _sample(6, seed=2)
+        together = encoder.encode(pad_graph_batch([a, b])).numpy()
+        swapped = encoder.encode(pad_graph_batch([b, a])).numpy()
+        assert np.allclose(together[0], swapped[1], atol=1e-10)
+        assert np.allclose(together[1], swapped[0], atol=1e-10)

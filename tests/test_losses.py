@@ -1,0 +1,134 @@
+"""Unit tests for the composite loss functions LF1-LF3 (Section 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml import LF1, LF2, LF3, CompositeLoss, LossInputs, Tensor
+
+
+@pytest.fixture()
+def inputs():
+    return LossInputs(
+        target_params=np.array([[-1.0, 5.0], [-0.5, 6.0]]),
+        param_scale=np.array([0.75, 5.5]),
+        log_tokens=np.log(np.array([10.0, 20.0])),
+        true_runtime=np.array([100.0, 50.0]),
+        xgb_runtime=np.array([90.0, 55.0]),
+    )
+
+
+class TestLossInputs:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LossInputs(
+                target_params=np.ones((2, 3)),
+                param_scale=np.array([1.0, 1.0]),
+                log_tokens=np.zeros(2),
+                true_runtime=np.ones(2),
+            )
+        with pytest.raises(ModelError):
+            LossInputs(
+                target_params=np.ones((2, 2)),
+                param_scale=np.array([0.0, 1.0]),
+                log_tokens=np.zeros(2),
+                true_runtime=np.ones(2),
+            )
+        with pytest.raises(ModelError):
+            LossInputs(
+                target_params=np.ones((2, 2)),
+                param_scale=np.array([1.0, 1.0]),
+                log_tokens=np.zeros(2),
+                true_runtime=np.array([1.0, 0.0]),
+            )
+
+    def test_subset(self, inputs):
+        sub = inputs.subset(np.array([1]))
+        assert sub.target_params.shape == (1, 2)
+        assert sub.true_runtime[0] == 50.0
+        assert sub.xgb_runtime[0] == 55.0
+
+
+class TestLF1:
+    def test_zero_at_perfect_prediction(self, inputs):
+        loss = LF1()(Tensor(inputs.target_params), inputs)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_scaled_mae(self, inputs):
+        predictions = inputs.target_params + np.array([[0.75, 0.0], [0.0, 5.5]])
+        loss = LF1()(Tensor(predictions), inputs)
+        # Each perturbed entry contributes exactly 1 after scaling;
+        # mean over 4 entries = 0.5.
+        assert loss.item() == pytest.approx(0.5)
+
+    def test_ignores_runtime(self, inputs):
+        """LF1 is flat in run-time error: only parameters matter."""
+        predictions = Tensor(inputs.target_params)
+        value = LF1()(predictions, inputs).item()
+        inputs2 = LossInputs(
+            target_params=inputs.target_params,
+            param_scale=inputs.param_scale,
+            log_tokens=inputs.log_tokens,
+            true_runtime=inputs.true_runtime * 100,
+        )
+        assert LF1()(predictions, inputs2).item() == pytest.approx(value)
+
+
+class TestLF2:
+    def test_penalizes_runtime_error(self, inputs):
+        # Perfect parameters -> LF1 part zero; runtime part depends on the
+        # implied runtimes vs the ground truth.
+        predictions = Tensor(inputs.target_params)
+        lf2 = LF2(runtime_weight=1.0)(predictions, inputs)
+        implied = np.exp(
+            inputs.target_params[:, 1]
+            + inputs.target_params[:, 0] * inputs.log_tokens
+        )
+        expected = np.abs(implied - inputs.true_runtime) / inputs.true_runtime
+        assert lf2.item() == pytest.approx(expected.mean())
+
+    def test_weight_scales_component(self, inputs):
+        predictions = Tensor(inputs.target_params)
+        light = LF2(runtime_weight=0.1)(predictions, inputs).item()
+        heavy = LF2(runtime_weight=1.0)(predictions, inputs).item()
+        assert heavy == pytest.approx(10 * light)
+
+
+class TestLF3:
+    def test_requires_xgb_predictions(self, inputs):
+        no_xgb = LossInputs(
+            target_params=inputs.target_params,
+            param_scale=inputs.param_scale,
+            log_tokens=inputs.log_tokens,
+            true_runtime=inputs.true_runtime,
+        )
+        with pytest.raises(ModelError):
+            LF3()(Tensor(inputs.target_params), no_xgb)
+
+    def test_transfer_term_added(self, inputs):
+        predictions = Tensor(inputs.target_params)
+        lf2 = LF2(runtime_weight=0.5)(predictions, inputs).item()
+        lf3 = LF3(runtime_weight=0.5, transfer_weight=0.25)(
+            predictions, inputs
+        ).item()
+        assert lf3 > lf2  # the xgb disagreement adds loss
+
+
+class TestCompositeLoss:
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ModelError):
+            CompositeLoss((0.0, 1.0, 0.0))  # params component must be active
+        with pytest.raises(ModelError):
+            CompositeLoss((1.0, -1.0, 0.0))
+
+    def test_gradients_flow_through_runtime_term(self, inputs):
+        predictions = Tensor(inputs.target_params.copy(), requires_grad=True)
+        loss = LF2(runtime_weight=1.0)(predictions, inputs)
+        loss.backward()
+        assert predictions.grad is not None
+        assert np.any(predictions.grad != 0)
+
+    def test_needs_xgb_flag(self):
+        assert LF3().needs_xgb
+        assert not LF2().needs_xgb
+        assert not LF1().needs_xgb

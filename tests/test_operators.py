@@ -1,0 +1,86 @@
+"""Unit tests for the operator catalogue (Table 1 categorical schema)."""
+
+import pytest
+
+from repro.scope import (
+    NUM_OPERATOR_KINDS,
+    NUM_PARTITIONING_METHODS,
+    OPERATOR_CATALOG,
+    OPERATOR_NAMES,
+    OperatorCategory,
+    OperatorSpec,
+    PartitioningMethod,
+)
+
+
+class TestCatalogue:
+    def test_exactly_35_operators(self):
+        """Table 1: 35 physical operators."""
+        assert NUM_OPERATOR_KINDS == 35
+        assert len(OPERATOR_CATALOG) == 35
+
+    def test_exactly_4_partitioning_methods(self):
+        """Table 1: 4 partitioning methods."""
+        assert NUM_PARTITIONING_METHODS == 4
+        assert {m.value for m in PartitioningMethod} == {
+            "hash",
+            "range",
+            "round_robin",
+            "broadcast",
+        }
+
+    def test_name_order_is_stable(self):
+        """One-hot encoding relies on a deterministic name order."""
+        assert OPERATOR_NAMES == tuple(OPERATOR_CATALOG)
+        assert OPERATOR_NAMES[0] == "Extract"
+
+    def test_sources_have_arity_zero(self):
+        for spec in OPERATOR_CATALOG.values():
+            if spec.category is OperatorCategory.SOURCE:
+                assert spec.arity == 0
+
+    def test_joins_are_binary(self):
+        for spec in OPERATOR_CATALOG.values():
+            if spec.category is OperatorCategory.JOIN:
+                assert spec.arity == 2
+
+    def test_exchanges_flagged(self):
+        exchanges = [s for s in OPERATOR_CATALOG.values() if s.exchange]
+        assert len(exchanges) == 3
+        assert all(s.category is OperatorCategory.EXCHANGE for s in exchanges)
+
+    def test_every_operator_has_positive_cost(self):
+        assert all(s.cost_per_row > 0 for s in OPERATOR_CATALOG.values())
+
+    def test_selectivity_ranges_valid(self):
+        for spec in OPERATOR_CATALOG.values():
+            low, high = spec.selectivity
+            assert 0 < low <= high
+
+    def test_blocking_operators_exist(self):
+        blocking = {s.name for s in OPERATOR_CATALOG.values() if s.blocking}
+        assert "Sort" in blocking
+        assert "HashAggregate" in blocking
+        assert "Filter" not in blocking
+
+
+class TestOperatorSpec:
+    def test_rejects_bad_arity(self):
+        with pytest.raises(ValueError):
+            OperatorSpec(
+                name="Bad",
+                arity=3,
+                category=OperatorCategory.MISC,
+                cost_per_row=1.0,
+                selectivity=(1.0, 1.0),
+            )
+
+    def test_rejects_bad_selectivity(self):
+        with pytest.raises(ValueError):
+            OperatorSpec(
+                name="Bad",
+                arity=1,
+                category=OperatorCategory.MISC,
+                cost_per_row=1.0,
+                selectivity=(0.0, 1.0),
+            )

@@ -1,0 +1,155 @@
+"""Unit tests for query plan DAGs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlanError
+from repro.scope import OperatorNode, QueryPlan
+
+
+def _linear_plan() -> QueryPlan:
+    """Extract -> Filter -> Output."""
+    nodes = {
+        0: OperatorNode(op_id=0, kind="Extract", output_cardinality=1000,
+                        leaf_input_cardinality=1000, cost_exclusive=10),
+        1: OperatorNode(op_id=1, kind="Filter", children=(0,),
+                        output_cardinality=100, cost_exclusive=2),
+        2: OperatorNode(op_id=2, kind="Output", children=(1,),
+                        output_cardinality=100, cost_exclusive=1),
+    }
+    return QueryPlan(job_id="linear", nodes=nodes)
+
+
+def _join_plan() -> QueryPlan:
+    """Two sources joined, then output."""
+    nodes = {
+        0: OperatorNode(op_id=0, kind="Extract", output_cardinality=500,
+                        cost_exclusive=5),
+        1: OperatorNode(op_id=1, kind="TableScan", output_cardinality=300,
+                        cost_exclusive=3),
+        2: OperatorNode(op_id=2, kind="HashJoin", children=(0, 1),
+                        output_cardinality=400, cost_exclusive=8),
+        3: OperatorNode(op_id=3, kind="Output", children=(2,),
+                        output_cardinality=400, cost_exclusive=1),
+    }
+    return QueryPlan(job_id="join", nodes=nodes)
+
+
+class TestOperatorNode:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(PlanError):
+            OperatorNode(op_id=0, kind="Nonsense")
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(PlanError):
+            OperatorNode(op_id=0, kind="Extract", num_partitions=0)
+
+    def test_source_flag(self):
+        assert OperatorNode(op_id=0, kind="Extract").is_source
+        node = OperatorNode(op_id=1, kind="Filter", children=(0,))
+        assert not node.is_source
+
+    def test_stage_boundary_flags(self):
+        sort = OperatorNode(op_id=0, kind="Sort", children=(1,))
+        assert sort.starts_new_stage
+        exchange = OperatorNode(op_id=0, kind="PartitionExchange", children=(1,))
+        assert exchange.starts_new_stage
+        project = OperatorNode(op_id=0, kind="Project", children=(1,))
+        assert not project.starts_new_stage
+
+
+class TestQueryPlanValidation:
+    def test_rejects_empty_plan(self):
+        with pytest.raises(PlanError):
+            QueryPlan(job_id="x", nodes={})
+
+    def test_rejects_wrong_arity(self):
+        nodes = {0: OperatorNode(op_id=0, kind="Filter", children=())}
+        with pytest.raises(PlanError):
+            QueryPlan(job_id="x", nodes=nodes)
+
+    def test_rejects_missing_child(self):
+        nodes = {
+            0: OperatorNode(op_id=0, kind="Filter", children=(99,)),
+        }
+        with pytest.raises(PlanError):
+            QueryPlan(job_id="x", nodes=nodes)
+
+    def test_rejects_cycle(self):
+        nodes = {
+            0: OperatorNode(op_id=0, kind="Filter", children=(1,)),
+            1: OperatorNode(op_id=1, kind="Filter", children=(0,)),
+        }
+        with pytest.raises(PlanError):
+            QueryPlan(job_id="x", nodes=nodes)
+
+
+class TestStructure:
+    def test_topological_order_children_first(self):
+        plan = _join_plan()
+        order = plan.topological_order
+        position = {op_id: i for i, op_id in enumerate(order)}
+        for node in plan.nodes.values():
+            for child in node.children:
+                assert position[child] < position[node.op_id]
+
+    def test_sources_and_sinks(self):
+        plan = _join_plan()
+        assert {n.op_id for n in plan.sources} == {0, 1}
+        assert [n.op_id for n in plan.sinks] == [3]
+
+    def test_edges(self):
+        plan = _linear_plan()
+        assert sorted(plan.edges()) == [(0, 1), (1, 2)]
+
+    def test_adjacency_matrix_matches_edges(self):
+        plan = _join_plan()
+        matrix = plan.adjacency_matrix()
+        order = plan.topological_order
+        index = {op_id: i for i, op_id in enumerate(order)}
+        assert matrix.sum() == len(plan.edges())
+        for child, parent in plan.edges():
+            assert matrix[index[child], index[parent]] == 1.0
+
+    def test_num_operators(self):
+        assert _linear_plan().num_operators == 3
+
+    def test_operator_counts(self):
+        counts = _join_plan().operator_counts()
+        assert counts == {"Extract": 1, "TableScan": 1, "HashJoin": 1, "Output": 1}
+
+    def test_total_cost(self):
+        assert _join_plan().total_cost == pytest.approx(17.0)
+
+    def test_total_input_cardinality(self):
+        assert _join_plan().total_input_cardinality == pytest.approx(800.0)
+
+    def test_num_stages_counts_boundaries(self):
+        # Sources open stages implicitly; HashJoin is binary+blocking.
+        plan = _join_plan()
+        assert plan.num_stages >= 2
+
+
+class TestGeneratedPlans(object):
+    def test_generated_plans_are_valid_dags(self, workload_jobs):
+        for job in workload_jobs[:20]:
+            plan = job.plan
+            order = plan.topological_order
+            assert len(order) == plan.num_operators
+            matrix = plan.adjacency_matrix()
+            # DAG in topological order => strictly upper-triangular.
+            assert np.allclose(matrix, np.triu(matrix, k=1))
+
+    def test_generated_plans_have_single_sink(self, workload_jobs):
+        for job in workload_jobs[:20]:
+            sinks = job.plan.sinks
+            assert len(sinks) == 1
+            assert sinks[0].kind == "Output"
+
+    def test_estimates_are_positive(self, workload_jobs):
+        for job in workload_jobs[:20]:
+            for node in job.plan.nodes.values():
+                assert node.output_cardinality >= 1.0
+                assert node.cost_exclusive > 0
+                assert node.true_cost > 0
+                assert node.num_partitions >= 1

@@ -1,0 +1,84 @@
+"""Unit tests for allocation policies (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SkylineError
+from repro.skyline import (
+    AdaptivePeakAllocation,
+    DefaultAllocation,
+    PeakAllocation,
+    Skyline,
+    evaluate_policy,
+)
+
+
+@pytest.fixture()
+def figure1_skyline():
+    """A job using < 80 tokens while 125 are allocated by default."""
+    usage = np.concatenate(
+        [np.linspace(5, 78, 40), np.linspace(78, 20, 30), np.linspace(20, 60, 30)]
+    )
+    return Skyline(usage)
+
+
+class TestDefaultAllocation:
+    def test_flat_curve(self, figure1_skyline):
+        curve = DefaultAllocation(125).allocation_curve(figure1_skyline)
+        assert np.all(curve == 125)
+        assert curve.size == figure1_skyline.duration
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SkylineError):
+            DefaultAllocation(0)
+
+
+class TestPeakAllocation:
+    def test_curve_equals_peak(self, figure1_skyline):
+        curve = PeakAllocation().allocation_curve(figure1_skyline)
+        assert np.all(curve == figure1_skyline.peak)
+
+
+class TestAdaptivePeakAllocation:
+    def test_curve_is_non_increasing(self, figure1_skyline):
+        curve = AdaptivePeakAllocation().allocation_curve(figure1_skyline)
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_curve_dominates_usage(self, figure1_skyline):
+        curve = AdaptivePeakAllocation().allocation_curve(figure1_skyline)
+        assert np.all(curve >= figure1_skyline.usage - 1e-12)
+
+    def test_starts_at_global_peak(self, figure1_skyline):
+        curve = AdaptivePeakAllocation().allocation_curve(figure1_skyline)
+        assert curve[0] == figure1_skyline.peak
+
+    def test_monotone_decreasing_job(self):
+        sky = Skyline([9, 6, 3])
+        curve = AdaptivePeakAllocation().allocation_curve(sky)
+        assert list(curve) == [9, 6, 3]
+
+
+class TestPolicyOrdering:
+    def test_waste_ordering_matches_figure1(self, figure1_skyline):
+        """Default wastes more than peak, peak more than adaptive peak."""
+        default = evaluate_policy(DefaultAllocation(125), figure1_skyline)
+        peak = evaluate_policy(PeakAllocation(), figure1_skyline)
+        adaptive = evaluate_policy(AdaptivePeakAllocation(), figure1_skyline)
+        assert default.wasted > peak.wasted > adaptive.wasted
+        assert adaptive.wasted > 0  # valleys still waste under adaptive peak
+
+    def test_report_accounting(self, figure1_skyline):
+        report = evaluate_policy(PeakAllocation(), figure1_skyline)
+        assert report.total_allocated == pytest.approx(
+            figure1_skyline.peak * figure1_skyline.duration
+        )
+        assert report.total_used + report.wasted == pytest.approx(
+            report.total_allocated
+        )
+        assert 0 <= report.waste_fraction <= 1
+
+    def test_under_allocation_has_no_negative_waste(self):
+        sky = Skyline([10, 10])
+        report = evaluate_policy(DefaultAllocation(5), sky)
+        assert report.wasted == 0.0
+        assert report.total_used == 10.0

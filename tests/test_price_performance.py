@@ -1,0 +1,111 @@
+"""Unit tests for price-performance optimization (Section 2.3 companion)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.pcc import PowerLawPCC
+from repro.tasq.price_performance import (
+    cheapest_within_deadline,
+    job_cost,
+    pareto_frontier,
+)
+
+
+class TestJobCost:
+    def test_formula(self):
+        pcc = PowerLawPCC(a=-0.5, b=100.0)
+        # cost = A * b * A^a = b * A^(1+a) = 100 * 4^0.5 = 200
+        assert job_cost(pcc, 4) == pytest.approx(200.0)
+
+    def test_rate_scales(self):
+        pcc = PowerLawPCC(a=-0.5, b=100.0)
+        assert job_cost(pcc, 4, rate_per_token_second=2.0) == pytest.approx(
+            400.0
+        )
+
+    def test_imperfect_scaling_costs_more(self):
+        """With a > -1, parallelism wastes money (cost grows with A)."""
+        pcc = PowerLawPCC(a=-0.5, b=100.0)
+        assert job_cost(pcc, 16) > job_cost(pcc, 4)
+
+    def test_perfect_scaling_cost_constant(self):
+        pcc = PowerLawPCC(a=-1.0, b=100.0)
+        assert job_cost(pcc, 4) == pytest.approx(job_cost(pcc, 64))
+
+    def test_validation(self):
+        pcc = PowerLawPCC(a=-1.0, b=100.0)
+        with pytest.raises(PipelineError):
+            job_cost(pcc, 0)
+        with pytest.raises(PipelineError):
+            job_cost(pcc, 4, rate_per_token_second=0)
+
+
+class TestDeadline:
+    def test_closed_form(self):
+        pcc = PowerLawPCC(a=-1.0, b=1000.0)
+        # runtime(A) = 1000/A <= 50  =>  A >= 20
+        assert cheapest_within_deadline(pcc, 50.0) == 20
+
+    def test_deadline_met(self):
+        pcc = PowerLawPCC(a=-0.6, b=2000.0)
+        tokens = cheapest_within_deadline(pcc, 120.0)
+        assert pcc.runtime(tokens) <= 120.0 * 1.0001
+        if tokens > 1:
+            assert pcc.runtime(tokens - 1) > 120.0
+
+    def test_infeasible_returns_none(self):
+        pcc = PowerLawPCC(a=-1.0, b=1000.0)
+        assert cheapest_within_deadline(pcc, 1.0, max_tokens=100) is None
+
+    def test_flat_curve(self):
+        fast = PowerLawPCC(a=0.0, b=10.0)
+        slow = PowerLawPCC(a=0.0, b=1000.0)
+        assert cheapest_within_deadline(fast, 60.0) == 1
+        assert cheapest_within_deadline(slow, 60.0) is None
+
+    def test_respects_min_tokens(self):
+        pcc = PowerLawPCC(a=-1.0, b=100.0)
+        assert cheapest_within_deadline(pcc, 1000.0, min_tokens=5) == 5
+
+    def test_validation(self):
+        pcc = PowerLawPCC(a=-1.0, b=100.0)
+        with pytest.raises(PipelineError):
+            cheapest_within_deadline(pcc, 0.0)
+        with pytest.raises(PipelineError):
+            cheapest_within_deadline(PowerLawPCC(a=0.5, b=1.0), 10.0)
+
+
+class TestParetoFrontier:
+    def test_tradeoff_curve_all_efficient(self):
+        pcc = PowerLawPCC(a=-0.5, b=1000.0)
+        frontier = pareto_frontier(pcc, min_tokens=1, max_tokens=128)
+        assert len(frontier) >= 2
+        # Sorted by tokens: runtime falls, cost rises (a > -1).
+        runtimes = [p.runtime for p in frontier]
+        costs = [p.cost for p in frontier]
+        assert all(a >= b for a, b in zip(runtimes, runtimes[1:]))
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_no_point_dominated(self):
+        pcc = PowerLawPCC(a=-0.7, b=500.0)
+        frontier = pareto_frontier(pcc, max_tokens=64)
+        for point in frontier:
+            for other in frontier:
+                dominated = (
+                    other.cost < point.cost and other.runtime < point.runtime
+                )
+                assert not dominated
+
+    def test_flat_curve_collapses(self):
+        pcc = PowerLawPCC(a=0.0, b=100.0)
+        frontier = pareto_frontier(pcc, max_tokens=64)
+        assert len(frontier) == 1
+        assert frontier[0].tokens == 1
+
+    def test_validation(self):
+        pcc = PowerLawPCC(a=-1.0, b=100.0)
+        with pytest.raises(PipelineError):
+            pareto_frontier(pcc, min_tokens=0)
+        with pytest.raises(PipelineError):
+            pareto_frontier(pcc, num_points=1)

@@ -1,0 +1,84 @@
+"""Property-based tests: explanation rendering and drift monitoring."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcc import PowerLawPCC
+from repro.tasq import render_pcc_chart
+from repro.tasq.monitoring import PredictionMonitor
+
+
+class TestChartProperties:
+    @given(
+        st.floats(min_value=-2.0, max_value=0.0),
+        st.floats(min_value=0.5, max_value=1e6),
+        st.integers(min_value=2, max_value=5000),
+    )
+    @settings(max_examples=60)
+    def test_never_crashes_and_has_fixed_shape(self, a, b, max_tokens):
+        pcc = PowerLawPCC(a=a, b=b)
+        chart = render_pcc_chart(pcc, max_tokens=float(max_tokens) + 1.0,
+                                 width=30, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 10
+        body = lines[:8]
+        assert all(len(line) == len(body[0]) for line in body)
+        assert any("*" in line for line in body)
+
+    @given(
+        st.floats(min_value=-2.0, max_value=-0.05),
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=40)
+    def test_marks_always_land_on_the_curve_row(self, a, b, fraction):
+        pcc = PowerLawPCC(a=a, b=b)
+        max_tokens = 500.0
+        mark = max(1.0, fraction * max_tokens)
+        chart = render_pcc_chart(
+            pcc, max_tokens=max_tokens, marks={"O": mark},
+            width=30, height=8,
+        )
+        assert "O" in chart
+
+
+class TestMonitorProperties:
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=1e5),
+            st.floats(min_value=1.0, max_value=1e5),
+        ),
+        min_size=1,
+        max_size=60,
+    ))
+    @settings(max_examples=50)
+    def test_rolling_error_bounded_by_window_extremes(self, pairs):
+        monitor = PredictionMonitor(window=10, min_observations=2)
+        errors = []
+        for predicted, actual in pairs:
+            monitor.observe(predicted, actual)
+            errors.append(abs(predicted - actual) / actual * 100.0)
+        window_errors = errors[-10:]
+        rolling = monitor.rolling_median_ape
+        assert min(window_errors) - 1e-9 <= rolling <= max(window_errors) + 1e-9
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=2, max_value=30))
+    @settings(max_examples=40)
+    def test_signal_never_fires_early(self, patience, good_runs):
+        monitor = PredictionMonitor(
+            window=50, error_threshold=10.0,
+            patience=patience, min_observations=2,
+        )
+        for _ in range(good_runs):
+            monitor.observe(100.0, 100.0)  # perfect predictions
+        assert not monitor.needs_retraining
+        # Breaches accumulate only after the error actually crosses.
+        breaches_needed = patience
+        for _ in range(breaches_needed + 2):
+            monitor.observe(1000.0, 100.0)
+        # The window median may still be dragged down by the good runs;
+        # the signal fires only when both conditions hold.
+        if monitor.needs_retraining:
+            assert monitor.snapshot().consecutive_breaches >= patience

@@ -1,0 +1,85 @@
+"""Property-based tests: PCC families and price-performance decisions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcc import AmdahlPCC, PowerLawPCC, ShiftedPowerLawPCC
+from repro.tasq.price_performance import (
+    cheapest_within_deadline,
+    job_cost,
+    pareto_frontier,
+)
+
+exponents = st.floats(min_value=-2.0, max_value=-0.01)
+scales = st.floats(min_value=1.0, max_value=1e5)
+floors = st.floats(min_value=0.0, max_value=1e3)
+token_pairs = st.tuples(
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=1.0, max_value=1e4),
+)
+
+
+class TestFamilyProperties:
+    @given(st.floats(min_value=0.0, max_value=1e4),
+           st.floats(min_value=0.0, max_value=1e6),
+           token_pairs)
+    def test_amdahl_monotone(self, serial, parallel, tokens):
+        if serial == 0 and parallel == 0:
+            return
+        pcc = AmdahlPCC(serial=serial, parallel=parallel)
+        low, high = sorted(tokens)
+        assert pcc.runtime(low) >= pcc.runtime(high) - 1e-9
+
+    @given(exponents, scales, floors, token_pairs)
+    def test_shifted_monotone_and_floored(self, a, b, c, tokens):
+        pcc = ShiftedPowerLawPCC(a=a, b=b, c=c)
+        low, high = sorted(tokens)
+        assert pcc.runtime(low) >= pcc.runtime(high) - 1e-9
+        assert pcc.runtime(high) >= c - 1e-9
+
+    @given(st.floats(min_value=1.0, max_value=1e3),
+           st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=50)
+    def test_amdahl_fit_roundtrip(self, serial, parallel):
+        true = AmdahlPCC(serial=serial, parallel=parallel)
+        tokens = np.array([1.0, 3.0, 10.0, 40.0, 200.0])
+        fitted = AmdahlPCC.fit(tokens, np.asarray(true.runtime(tokens)))
+        assert np.isclose(fitted.serial, serial, rtol=1e-4, atol=1e-6)
+        assert np.isclose(fitted.parallel, parallel, rtol=1e-4)
+
+
+class TestPricingProperties:
+    @given(exponents, scales,
+           st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=80)
+    def test_deadline_solution_is_minimal(self, a, b, deadline):
+        pcc = PowerLawPCC(a=a, b=b)
+        tokens = cheapest_within_deadline(pcc, deadline, max_tokens=10**7)
+        if tokens is None:
+            return
+        assert pcc.runtime(tokens) <= deadline * (1 + 1e-9)
+        if tokens > 1:
+            assert pcc.runtime(tokens - 1) > deadline * (1 - 1e-9)
+
+    @given(st.floats(min_value=-0.95, max_value=-0.05), scales, token_pairs)
+    def test_cost_increases_with_tokens_when_scaling_imperfect(
+        self, a, b, tokens
+    ):
+        pcc = PowerLawPCC(a=a, b=b)
+        low, high = sorted(tokens)
+        assert job_cost(pcc, low) <= job_cost(pcc, high) + 1e-6
+
+    @given(exponents, scales)
+    @settings(max_examples=40)
+    def test_frontier_is_mutually_non_dominated(self, a, b):
+        pcc = PowerLawPCC(a=a, b=b)
+        frontier = pareto_frontier(pcc, max_tokens=128, num_points=10)
+        assert frontier
+        for point in frontier:
+            for other in frontier:
+                strictly_better = (
+                    other.cost < point.cost - 1e-9
+                    and other.runtime < point.runtime - 1e-9
+                )
+                assert not strictly_better

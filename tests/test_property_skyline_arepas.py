@@ -1,0 +1,97 @@
+"""Property-based tests: skyline geometry and AREPAS invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.arepas import AREPAS
+from repro.skyline import Skyline, split_sections
+from repro.skyline.policies import AdaptivePeakAllocation
+
+usage_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=120),
+    elements=st.floats(min_value=0.0, max_value=500.0,
+                       allow_nan=False, allow_infinity=False),
+)
+
+positive_usage_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=120),
+    elements=st.floats(min_value=0.5, max_value=500.0,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSkylineProperties:
+    @given(usage_arrays)
+    def test_area_is_sum_and_peak_is_max(self, usage):
+        sky = Skyline(usage)
+        assert sky.area == usage.sum()
+        assert sky.peak == usage.max()
+
+    @given(usage_arrays, st.floats(min_value=0.1, max_value=600.0))
+    def test_clipping_never_increases_area_or_peak(self, usage, allocation):
+        sky = Skyline(usage)
+        clipped = sky.clipped(allocation)
+        assert clipped.area <= sky.area + 1e-9
+        assert clipped.peak <= min(sky.peak, allocation) + 1e-9
+        assert clipped.duration == sky.duration
+
+    @given(positive_usage_arrays, st.floats(min_value=0.1, max_value=600.0))
+    def test_sections_partition_skyline(self, usage, threshold):
+        sky = Skyline(usage)
+        sections = split_sections(sky, threshold)
+        assert sum(s.duration for s in sections) == sky.duration
+        assert np.isclose(sum(s.area for s in sections), sky.area, rtol=1e-12)
+        # Adjacent sections alternate over/under.
+        for left, right in zip(sections[:-1], sections[1:]):
+            assert left.over != right.over
+
+    @given(usage_arrays)
+    def test_adaptive_peak_dominates_and_decreases(self, usage):
+        sky = Skyline(usage)
+        curve = AdaptivePeakAllocation().allocation_curve(sky)
+        assert np.all(np.diff(curve) <= 1e-12)
+        assert np.all(curve >= sky.usage - 1e-12)
+
+
+class TestArepasProperties:
+    @given(positive_usage_arrays,
+           st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60)
+    def test_area_always_preserved(self, usage, fraction):
+        sky = Skyline(usage)
+        allocation = max(0.5, fraction * sky.peak)
+        result = AREPAS().simulate(sky, allocation)
+        assert result.skyline.area == np.float64(sky.area) or (
+            abs(result.skyline.area - sky.area) < 1e-6 * max(1.0, sky.area)
+        )
+
+    @given(positive_usage_arrays,
+           st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60)
+    def test_peak_capped_and_runtime_longer(self, usage, fraction):
+        sky = Skyline(usage)
+        allocation = max(0.5, fraction * sky.peak)
+        result = AREPAS().simulate(sky, allocation)
+        assert result.skyline.peak <= max(allocation, sky.peak) + 1e-9
+        assert result.simulated_runtime >= sky.duration
+
+    @given(positive_usage_arrays,
+           st.floats(min_value=0.05, max_value=0.9),
+           st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=60)
+    def test_runtime_monotone_in_allocation(self, usage, f1, f2):
+        sky = Skyline(usage)
+        low, high = sorted([max(0.5, f1 * sky.peak), max(0.5, f2 * sky.peak)])
+        sim = AREPAS()
+        assert sim.runtime(sky, low) >= sim.runtime(sky, high)
+
+    @given(positive_usage_arrays)
+    @settings(max_examples=40)
+    def test_identity_at_or_above_peak(self, usage):
+        sky = Skyline(usage)
+        result = AREPAS().simulate(sky, sky.peak)
+        assert result.skyline == sky

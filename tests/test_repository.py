@@ -1,0 +1,91 @@
+"""Unit tests for the job repository and telemetry records."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.scope import JobRepository, TelemetryRecord, run_workload
+from repro.skyline import Skyline
+
+
+def _record(job_id="j1", day=0, repository_fixture=None):
+    from repro.scope import OperatorNode, QueryPlan
+
+    plan = QueryPlan(
+        job_id=job_id,
+        nodes={0: OperatorNode(op_id=0, kind="Extract", cost_exclusive=1)},
+    )
+    return TelemetryRecord(
+        job_id=job_id,
+        plan=plan,
+        requested_tokens=10,
+        skyline=Skyline([5, 8, 3]),
+        submit_day=day,
+        recurring=False,
+    )
+
+
+class TestTelemetryRecord:
+    def test_derived_properties(self):
+        record = _record()
+        assert record.runtime == 3
+        assert record.peak_tokens == 8.0
+        assert record.template_id == "adhoc"
+
+
+class TestJobRepository:
+    def test_add_and_get(self):
+        repo = JobRepository()
+        record = _record()
+        repo.add(record)
+        assert repo.get("j1") is record
+        assert "j1" in repo
+        assert len(repo) == 1
+
+    def test_rejects_duplicates(self):
+        repo = JobRepository()
+        repo.add(_record())
+        with pytest.raises(ExecutionError):
+            repo.add(_record())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExecutionError):
+            JobRepository().get("missing")
+
+    def test_filtering(self):
+        repo = JobRepository()
+        repo.add(_record("a", day=0))
+        repo.add(_record("b", day=1))
+        repo.add(_record("c", day=2))
+        assert [r.job_id for r in repo.by_day(1, 2)] == ["b", "c"]
+        assert len(repo.records(lambda r: r.submit_day == 0)) == 1
+
+    def test_statistics_require_records(self):
+        with pytest.raises(ExecutionError):
+            JobRepository().runtime_statistics()
+
+
+class TestRunWorkload:
+    def test_one_record_per_job(self, workload_jobs, repository):
+        assert len(repository) == len(workload_jobs)
+
+    def test_records_carry_plans(self, repository, workload_jobs):
+        by_id = {j.job_id: j for j in workload_jobs}
+        for record in repository:
+            assert record.plan is by_id[record.job_id].plan
+            assert record.requested_tokens == by_id[record.job_id].requested_tokens
+
+    def test_peak_never_exceeds_allocation(self, repository):
+        for record in repository:
+            assert record.peak_tokens <= record.requested_tokens * 1.001
+
+    def test_statistics_right_skewed(self, repository):
+        stats = repository.runtime_statistics()
+        assert stats["runtime_mean"] > stats["runtime_median"]
+        assert stats["peak_tokens_mean"] > stats["peak_tokens_median"]
+
+    def test_deterministic(self, workload_jobs):
+        a = run_workload(workload_jobs[:5], seed=42)
+        b = run_workload(workload_jobs[:5], seed=42)
+        for record_a, record_b in zip(a, b):
+            assert record_a.skyline == record_b.skyline

@@ -1,0 +1,102 @@
+"""Unit tests for skyline sectioning and utilization bands."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SkylineError
+from repro.skyline import (
+    Skyline,
+    UtilizationBand,
+    band_time_fractions,
+    classify_bands,
+    split_sections,
+)
+
+
+class TestSplitSections:
+    def test_single_section_all_under(self):
+        sections = split_sections(Skyline([1, 2, 1]), threshold=5)
+        assert len(sections) == 1
+        assert not sections[0].over
+        assert sections[0].start == 0 and sections[0].end == 3
+
+    def test_single_section_all_over(self):
+        sections = split_sections(Skyline([7, 8]), threshold=5)
+        assert len(sections) == 1
+        assert sections[0].over
+
+    def test_alternating_sections(self):
+        sky = Skyline([2, 2, 8, 8, 3, 9])
+        sections = split_sections(sky, threshold=5)
+        assert [s.over for s in sections] == [False, True, False, True]
+        assert [s.duration for s in sections] == [2, 2, 1, 1]
+
+    def test_sections_cover_whole_skyline(self):
+        sky = Skyline([1, 6, 2, 7, 7, 1])
+        sections = split_sections(sky, threshold=4)
+        assert sections[0].start == 0
+        assert sections[-1].end == sky.duration
+        for left, right in zip(sections[:-1], sections[1:]):
+            assert left.end == right.start
+
+    def test_usage_exactly_at_threshold_is_not_over(self):
+        sections = split_sections(Skyline([5, 5]), threshold=5)
+        assert len(sections) == 1
+        assert not sections[0].over
+
+    def test_section_area(self):
+        sky = Skyline([2, 8, 8])
+        sections = split_sections(sky, threshold=5)
+        assert sections[0].area == 2.0
+        assert sections[1].area == 16.0
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(SkylineError):
+            split_sections(Skyline([1]), threshold=0)
+
+
+class TestUtilizationBands:
+    def test_segments_partition_time(self, peaky_skyline):
+        segments = classify_bands(peaky_skyline)
+        assert segments[0].start == 0
+        assert segments[-1].end == peaky_skyline.duration
+        total = sum(s.duration for s in segments)
+        assert total == peaky_skyline.duration
+
+    def test_band_boundaries(self):
+        # allocation 100, low cutoff 0.25, high cutoff 0.5
+        sky = Skyline([10, 30, 80])
+        segments = classify_bands(sky, allocation=100)
+        assert [s.band for s in segments] == [
+            UtilizationBand.MINIMUM,
+            UtilizationBand.LOW,
+            UtilizationBand.HIGH,
+        ]
+
+    def test_fractions_sum_to_one(self, flat_skyline):
+        fractions = band_time_fractions(flat_skyline)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_peaky_spends_most_time_low(self, peaky_skyline):
+        fractions = band_time_fractions(peaky_skyline)
+        low_time = (
+            fractions[UtilizationBand.MINIMUM] + fractions[UtilizationBand.LOW]
+        )
+        assert low_time > fractions[UtilizationBand.HIGH]
+
+    def test_flat_spends_most_time_high(self, flat_skyline):
+        fractions = band_time_fractions(flat_skyline)
+        assert fractions[UtilizationBand.HIGH] > 0.5
+
+    def test_default_allocation_is_peak(self):
+        sky = Skyline([50, 100])
+        segments = classify_bands(sky)
+        assert segments[-1].band == UtilizationBand.HIGH
+
+    def test_invalid_cutoffs(self):
+        with pytest.raises(SkylineError):
+            classify_bands(Skyline([1]), low_cutoff=0.6, high_cutoff=0.5)
+
+    def test_invalid_allocation(self):
+        with pytest.raises(SkylineError):
+            classify_bands(Skyline([1]), allocation=-1)

@@ -1,0 +1,196 @@
+"""Unit tests for job selection and flight filters (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FlightingError, NotFittedError, SelectionError
+from repro.selection import (
+    FlightObservation,
+    KMeans,
+    apply_flight_filters,
+    cluster_proportions,
+    ks_statistic,
+    select_flighting_jobs,
+    stratified_sample,
+    violates_monotonicity,
+)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng):
+        a = rng.normal([0, 0], 0.2, size=(50, 2))
+        b = rng.normal([10, 10], 0.2, size=(50, 2))
+        labels = KMeans(n_clusters=2, seed=1).fit_predict(np.vstack([a, b]))
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+
+    def test_predict_unseen_points(self, rng):
+        points = rng.normal(size=(30, 2))
+        model = KMeans(n_clusters=3, seed=0).fit(points)
+        labels = model.predict(rng.normal(size=(10, 2)))
+        assert labels.shape == (10,)
+        assert set(labels) <= {0, 1, 2}
+
+    def test_deterministic(self, rng):
+        points = rng.normal(size=(60, 3))
+        a = KMeans(n_clusters=4, seed=7).fit_predict(points)
+        b = KMeans(n_clusters=4, seed=7).fit_predict(points)
+        assert np.array_equal(a, b)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        points = rng.normal(size=(100, 2))
+        small = KMeans(n_clusters=2, seed=0).fit(points).inertia_
+        large = KMeans(n_clusters=8, seed=0).fit(points).inertia_
+        assert large < small
+
+    def test_rejects_more_clusters_than_points(self):
+        with pytest.raises(SelectionError):
+            KMeans(n_clusters=5).fit(np.ones((3, 2)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans().predict(np.ones((2, 2)))
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((20, 2))
+        labels = KMeans(n_clusters=2, seed=0).fit_predict(points)
+        assert labels.shape == (20,)
+
+
+class TestStratifiedSampling:
+    def test_proportions_match_population(self, rng):
+        population = np.repeat([0, 1, 2], [500, 300, 200])
+        pool = np.repeat([0, 1, 2], [100, 800, 100])  # heavily biased pool
+        proportions = cluster_proportions(population, 3)
+        indices = stratified_sample(pool, proportions, 100, rng)
+        selected = pool[indices]
+        fractions = cluster_proportions(selected, 3)
+        assert abs(fractions[0] - 0.5) < 0.05
+        assert abs(fractions[1] - 0.3) < 0.05
+
+    def test_type_cap_enforced(self, rng):
+        pool = np.zeros(50, dtype=int)
+        types = np.array(["t0"] * 25 + ["t1"] * 25)
+        indices = stratified_sample(
+            pool, np.array([1.0]), 20, rng, type_ids=types, max_per_type=3
+        )
+        selected_types = types[indices]
+        assert len(indices) == 6  # 3 of each type, then capped
+        assert np.count_nonzero(selected_types == "t0") <= 3
+
+    def test_cap_requires_types(self, rng):
+        with pytest.raises(SelectionError):
+            stratified_sample(np.zeros(5, int), np.array([1.0]), 2, rng,
+                              max_per_type=2)
+
+    def test_rejects_zero_sample(self, rng):
+        with pytest.raises(SelectionError):
+            stratified_sample(np.zeros(5, int), np.array([1.0]), 0, rng)
+
+
+class TestKS:
+    def test_identical_distributions_low_statistic(self, rng):
+        sample = rng.normal(size=3000)
+        assert ks_statistic(sample, sample) == 0.0
+
+    def test_shifted_distributions_high_statistic(self, rng):
+        a = rng.normal(0, 1, 500)
+        b = rng.normal(5, 1, 500)
+        assert ks_statistic(a, b) > 0.9
+
+    def test_empty_raises(self):
+        with pytest.raises(SelectionError):
+            ks_statistic(np.array([]), np.array([1.0]))
+
+
+class TestSelectFlightingJobs:
+    def test_selection_improves_ks(self, repository):
+        records = repository.records()
+        # Biased pool: the cheapest half of the workload.
+        pool = sorted(records, key=lambda r: r.plan.total_cost)[: len(records) // 2]
+        result = select_flighting_jobs(
+            records, pool, sample_size=15, n_clusters=4, seed=2
+        )
+        assert len(result.selected_indices) > 0
+        # At this tiny pool size the KS statistic is noisy; selection must
+        # not make representativeness materially worse.
+        assert result.ks_after <= result.ks_before + 0.15
+
+    def test_selected_indices_within_pool(self, repository):
+        records = repository.records()
+        pool = records[:30]
+        result = select_flighting_jobs(records, pool, sample_size=10, seed=0)
+        assert all(0 <= i < 30 for i in result.selected_indices)
+
+    def test_rejects_oversized_sample(self, repository):
+        records = repository.records()
+        with pytest.raises(SelectionError):
+            select_flighting_jobs(records, records[:5], sample_size=10)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(SelectionError):
+            select_flighting_jobs([], [], sample_size=1)
+
+
+class TestFlightFilters:
+    def _obs(self, job, tokens, runtime, peak=None):
+        return FlightObservation(
+            job_id=job, tokens=tokens, runtime=runtime,
+            peak_usage=peak if peak is not None else tokens * 0.8,
+        )
+
+    def test_monotonicity_violation_detection(self):
+        flights = [self._obs("j", 10, 100), self._obs("j", 20, 150)]
+        assert violates_monotonicity(flights)
+
+    def test_tolerance_allows_small_increase(self):
+        flights = [self._obs("j", 10, 100), self._obs("j", 20, 105)]
+        assert not violates_monotonicity(flights, tolerance=0.10)
+
+    def test_monotone_job_passes(self):
+        flights = [self._obs("j", 10, 100), self._obs("j", 20, 60)]
+        assert not violates_monotonicity(flights)
+
+    def test_single_level_cannot_violate(self):
+        assert not violates_monotonicity([self._obs("j", 10, 100)])
+
+    def test_isolated_flights_dropped(self):
+        report = apply_flight_filters([self._obs("only", 10, 100)])
+        assert report.num_kept == 0
+        assert report.dropped_isolated == ("only",)
+
+    def test_errant_flights_dropped(self):
+        flights = [
+            self._obs("j", 10, 100, peak=15),  # errant: peak > allocation
+            self._obs("j", 20, 60),
+        ]
+        report = apply_flight_filters(flights)
+        assert len(report.dropped_errant) == 1
+        # Only one level left -> the job becomes isolated.
+        assert report.dropped_isolated == ("j",)
+
+    def test_good_job_kept(self):
+        flights = [
+            self._obs("j", 10, 100),
+            self._obs("j", 20, 60),
+            self._obs("j", 40, 40),
+        ]
+        report = apply_flight_filters(flights)
+        assert report.num_kept == 3
+        assert not report.dropped_non_monotonic
+
+    def test_non_monotonic_job_dropped_entirely(self):
+        flights = [
+            self._obs("good", 10, 100),
+            self._obs("good", 20, 70),
+            self._obs("bad", 10, 100),
+            self._obs("bad", 20, 200),
+        ]
+        report = apply_flight_filters(flights)
+        assert {f.job_id for f in report.kept} == {"good"}
+        assert report.dropped_non_monotonic == ("bad",)
+
+    def test_rejects_invalid_observation(self):
+        with pytest.raises(FlightingError):
+            FlightObservation(job_id="x", tokens=0, runtime=10, peak_usage=1)

@@ -1,0 +1,108 @@
+"""Unit tests for job signatures and repository persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.scope import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    load_repository,
+    plan_signature,
+    run_workload,
+    save_repository,
+)
+
+
+class TestPlanSignature:
+    def test_deterministic(self, workload_jobs):
+        plan = workload_jobs[0].plan
+        assert plan_signature(plan) == plan_signature(plan)
+
+    def test_recurring_instances_share_signature(self):
+        generator = WorkloadGenerator(
+            WorkloadConfig(recurring_fraction=1.0, num_templates=1), seed=1
+        )
+        jobs = generator.generate(6)
+        signatures = {plan_signature(j.plan) for j in jobs}
+        assert len(signatures) == 1
+
+    def test_different_templates_differ(self):
+        generator = WorkloadGenerator(
+            WorkloadConfig(recurring_fraction=0.0), seed=1
+        )
+        jobs = generator.generate(20)
+        signatures = {plan_signature(j.plan) for j in jobs}
+        # Ad-hoc plans are structurally diverse; collisions are possible
+        # for tiny plans but must be rare.
+        assert len(signatures) >= 15
+
+    def test_estimate_drift_does_not_change_signature(self, workload_jobs):
+        """Signatures must ignore cardinalities/costs (which drift)."""
+        import copy
+
+        plan = workload_jobs[0].plan
+        drifted = copy.deepcopy(plan)
+        for node in drifted.nodes.values():
+            node.output_cardinality *= 3.7
+            node.cost_exclusive *= 0.2
+        assert plan_signature(plan) == plan_signature(drifted)
+
+
+class TestRepositoryPersistence:
+    def test_roundtrip(self, repository, tmp_path):
+        path = save_repository(repository, tmp_path / "repo")
+        assert path.suffix == ".npz"
+        loaded = load_repository(path)
+        assert len(loaded) == len(repository)
+        for original in repository:
+            restored = loaded.get(original.job_id)
+            assert restored.skyline == original.skyline
+            assert restored.requested_tokens == original.requested_tokens
+            assert restored.submit_day == original.submit_day
+            assert restored.recurring == original.recurring
+            assert restored.plan.template_id == original.plan.template_id
+            assert restored.plan.num_operators == original.plan.num_operators
+
+    def test_roundtrip_preserves_estimates(self, repository, tmp_path):
+        path = save_repository(repository, tmp_path / "repo.npz")
+        loaded = load_repository(path)
+        original = repository.records()[0]
+        restored = loaded.get(original.job_id)
+        for op_id, node in original.plan.nodes.items():
+            other = restored.plan.nodes[op_id]
+            assert other.kind == node.kind
+            assert other.children == node.children
+            assert other.output_cardinality == pytest.approx(
+                node.output_cardinality
+            )
+            assert other.true_cost == pytest.approx(node.true_cost)
+
+    def test_roundtrip_preserves_signatures(self, repository, tmp_path):
+        path = save_repository(repository, tmp_path / "repo.npz")
+        loaded = load_repository(path)
+        for original in repository:
+            restored = loaded.get(original.job_id)
+            assert plan_signature(restored.plan) == plan_signature(
+                original.plan
+            )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            load_repository(tmp_path / "ghost.npz")
+
+    def test_empty_repository_rejected(self, tmp_path):
+        from repro.scope import JobRepository
+
+        with pytest.raises(ExecutionError):
+            save_repository(JobRepository(), tmp_path / "empty.npz")
+
+    def test_loaded_repository_is_trainable(self, repository, tmp_path):
+        """The persisted form feeds the normal pipeline unchanged."""
+        from repro.models import build_dataset
+
+        path = save_repository(repository, tmp_path / "repo.npz")
+        loaded = load_repository(path)
+        dataset = build_dataset(loaded)
+        assert len(dataset) > 0
+        assert np.all(np.isfinite(dataset.job_feature_matrix()))

@@ -1,0 +1,136 @@
+"""Unit tests for the Skyline data structure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SkylineError
+from repro.skyline import Skyline
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        sky = Skyline([1, 2, 3, 2])
+        assert sky.duration == 4
+        assert sky.area == 8.0
+        assert sky.peak == 3.0
+        assert sky.mean_usage == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(SkylineError):
+            Skyline([])
+
+    def test_rejects_negative_usage(self):
+        with pytest.raises(SkylineError):
+            Skyline([1, -1, 2])
+
+    def test_rejects_nan(self):
+        with pytest.raises(SkylineError):
+            Skyline([1.0, np.nan])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(SkylineError):
+            Skyline(np.ones((3, 3)))
+
+    def test_immutable(self):
+        sky = Skyline([1, 2, 3])
+        with pytest.raises(ValueError):
+            sky.usage[0] = 99
+
+    def test_copies_input(self):
+        source = np.array([1.0, 2.0])
+        sky = Skyline(source)
+        source[0] = 50.0
+        assert sky.usage[0] == 1.0
+
+    def test_from_segments(self):
+        sky = Skyline.from_segments([(3, 5.0), (2, 1.0)])
+        assert sky.duration == 5
+        assert list(sky.usage) == [5, 5, 5, 1, 1]
+
+    def test_from_segments_rejects_zero_duration(self):
+        with pytest.raises(SkylineError):
+            Skyline.from_segments([(0, 5.0)])
+
+    def test_from_segments_rejects_empty(self):
+        with pytest.raises(SkylineError):
+            Skyline.from_segments([])
+
+
+class TestEquality:
+    def test_equal_skylines(self):
+        assert Skyline([1, 2]) == Skyline([1.0, 2.0])
+
+    def test_unequal_values(self):
+        assert Skyline([1, 2]) != Skyline([1, 3])
+
+    def test_unequal_lengths(self):
+        assert Skyline([1, 2]) != Skyline([1, 2, 3])
+
+    def test_hash_consistent(self):
+        assert hash(Skyline([1, 2])) == hash(Skyline([1, 2]))
+
+    def test_container_protocol(self):
+        sky = Skyline([4, 5, 6])
+        assert len(sky) == 3
+        assert sky[1] == 5
+        assert list(sky) == [4, 5, 6]
+
+
+class TestGeometry:
+    def test_utilization_full(self):
+        sky = Skyline([10, 10])
+        assert sky.utilization(10) == 1.0
+
+    def test_utilization_half(self):
+        sky = Skyline([5, 5])
+        assert sky.utilization(10) == 0.5
+
+    def test_utilization_rejects_nonpositive_allocation(self):
+        with pytest.raises(SkylineError):
+            Skyline([1]).utilization(0)
+
+    def test_over_allocation(self):
+        sky = Skyline([3, 8, 2])
+        # allocation 5: waste = 2 + 0 + 3
+        assert sky.over_allocation(5) == 5.0
+
+    def test_fraction_above(self):
+        sky = Skyline([1, 5, 9, 9])
+        assert sky.fraction_above(4) == 0.75
+
+    def test_peakiness_flat_is_zero(self):
+        assert Skyline([7, 7, 7]).peakiness() == 0.0
+
+    def test_peakiness_orders_peaky_over_flat(self, peaky_skyline, flat_skyline):
+        assert peaky_skyline.peakiness() > flat_skyline.peakiness()
+
+    def test_peakiness_zero_usage(self):
+        assert Skyline([0, 0]).peakiness() == 0.0
+
+
+class TestTransformations:
+    def test_clipped(self):
+        sky = Skyline([2, 9, 4]).clipped(5)
+        assert list(sky.usage) == [2, 5, 4]
+
+    def test_concatenate(self):
+        combined = Skyline([1, 2]).concatenate(Skyline([3]))
+        assert list(combined.usage) == [1, 2, 3]
+
+    def test_rounded(self):
+        sky = Skyline([1.4, 2.6]).rounded()
+        assert list(sky.usage) == [1, 3]
+
+    def test_with_noise_preserves_length(self, rng):
+        sky = Skyline(np.full(50, 10.0))
+        noisy = sky.with_noise(rng, scale=0.1)
+        assert noisy.duration == 50
+        assert noisy != sky
+
+    def test_with_zero_noise_returns_same(self, rng):
+        sky = Skyline([1, 2, 3])
+        assert sky.with_noise(rng, scale=0.0) is sky
+
+    def test_with_noise_rejects_negative_scale(self, rng):
+        with pytest.raises(SkylineError):
+            Skyline([1]).with_noise(rng, scale=-0.1)

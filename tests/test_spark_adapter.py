@@ -1,0 +1,97 @@
+"""Unit tests for the Spark executor adaptation (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.adapters import (
+    ExecutorConfig,
+    SparkScoringAdapter,
+    to_executor_repository,
+)
+from repro.exceptions import PipelineError
+from repro.models import NNPCCModel, TrainConfig, build_dataset
+from repro.tasq import ScoringPipeline
+
+
+class TestExecutorConfig:
+    def test_covering_count(self):
+        config = ExecutorConfig(tokens_per_executor=4)
+        assert config.executors_for_tokens(1) == 1
+        assert config.executors_for_tokens(4) == 1
+        assert config.executors_for_tokens(5) == 2
+        assert config.executors_for_tokens(100) == 25
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            ExecutorConfig(tokens_per_executor=0)
+        with pytest.raises(PipelineError):
+            ExecutorConfig(allowed_executor_counts=())
+        with pytest.raises(PipelineError):
+            ExecutorConfig(allowed_executor_counts=(4, 2))
+        with pytest.raises(PipelineError):
+            ExecutorConfig(allowed_executor_counts=(2, 2, 4))
+
+
+class TestRepositoryConversion:
+    def test_units_converted(self, repository):
+        config = ExecutorConfig(tokens_per_executor=4)
+        converted = to_executor_repository(repository, config)
+        assert len(converted) == len(repository)
+        for original in repository:
+            executor_record = converted.get(original.job_id)
+            assert executor_record.requested_tokens == max(
+                1, int(np.ceil(original.requested_tokens / 4))
+            )
+            # Area scales by exactly the bundling factor.
+            assert executor_record.skyline.area == pytest.approx(
+                original.skyline.area / 4
+            )
+            # Run time (duration) is unchanged — units, not speed.
+            assert executor_record.runtime == original.runtime
+
+    def test_converted_repository_trains(self, repository):
+        converted = to_executor_repository(repository)
+        dataset = build_dataset(converted)
+        model = NNPCCModel(train_config=TrainConfig(epochs=5), seed=0)
+        model.fit(dataset)
+        params = model.predict_parameters(dataset)
+        assert np.all(params[:, 0] <= 0)
+
+
+class TestSparkScoringAdapter:
+    @pytest.fixture(scope="class")
+    def adapter(self, repository):
+        converted = to_executor_repository(repository)
+        dataset = build_dataset(converted)
+        model = NNPCCModel(train_config=TrainConfig(epochs=25), seed=0)
+        model.fit(dataset)
+        scorer = ScoringPipeline(
+            model, improvement_threshold=10.0, max_slowdown=0.10
+        )
+        return SparkScoringAdapter(scorer=scorer)
+
+    def test_recommendation_on_menu(self, adapter, repository):
+        config = adapter.config
+        for record in repository.records()[:10]:
+            requested = config.executors_for_tokens(record.requested_tokens)
+            rec = adapter.recommend(record.plan, requested)
+            on_menu = rec.recommended_executors in config.allowed_executor_counts
+            assert on_menu or rec.recommended_executors == requested
+            assert 1 <= rec.recommended_executors <= requested
+            assert rec.executor_hours > 0
+            assert rec.pcc.is_non_increasing
+
+    def test_snapping_rounds_up(self, adapter):
+        # Optimal 5 with menu (2,4,8,...): must snap to 8, not 4.
+        assert adapter._snap(5, requested=64) == 8
+        assert adapter._snap(2, requested=64) == 2
+        assert adapter._snap(100, requested=64) == 64  # capped at request
+
+    def test_tiny_request_granted_verbatim(self, adapter, repository):
+        record = repository.records()[0]
+        rec = adapter.recommend(record.plan, 1)
+        assert rec.recommended_executors == 1
+
+    def test_rejects_bad_request(self, adapter, repository):
+        with pytest.raises(PipelineError):
+            adapter.recommend(repository.records()[0].plan, 0)

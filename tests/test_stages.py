@@ -1,0 +1,112 @@
+"""Unit tests for stage decomposition and the cost model."""
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.scope import CostModel, OperatorNode, QueryPlan, decompose_stages
+from repro.scope.stages import MAX_TASKS_PER_STAGE
+
+
+def _pipeline_plan() -> QueryPlan:
+    """Extract -> Filter -> Project -> Sort -> Output.
+
+    The first three pipeline into one stage; Sort is blocking and starts a
+    second stage which Output joins.
+    """
+    nodes = {
+        0: OperatorNode(op_id=0, kind="Extract", output_cardinality=100,
+                        cost_exclusive=10, num_partitions=4),
+        1: OperatorNode(op_id=1, kind="Filter", children=(0,),
+                        cost_exclusive=2, num_partitions=4),
+        2: OperatorNode(op_id=2, kind="Project", children=(1,),
+                        cost_exclusive=1, num_partitions=4),
+        3: OperatorNode(op_id=3, kind="Sort", children=(2,),
+                        cost_exclusive=5, num_partitions=4),
+        4: OperatorNode(op_id=4, kind="Output", children=(3,),
+                        cost_exclusive=1, num_partitions=4),
+    }
+    return QueryPlan(job_id="pipeline", nodes=nodes)
+
+
+class TestDecomposition:
+    def test_pipelining_groups_unary_operators(self):
+        graph = decompose_stages(_pipeline_plan())
+        assert graph.num_stages == 2
+        by_size = sorted(len(s.operator_ids) for s in graph.stages.values())
+        assert by_size == [2, 3]
+
+    def test_stage_dependencies_follow_data_flow(self):
+        graph = decompose_stages(_pipeline_plan())
+        order = graph.topological_order()
+        assert len(order) == 2
+        last = graph.stages[order[-1]]
+        assert last.dependencies == (order[0],)
+
+    def test_binary_operators_open_stage(self):
+        nodes = {
+            0: OperatorNode(op_id=0, kind="Extract", cost_exclusive=1),
+            1: OperatorNode(op_id=1, kind="Extract", cost_exclusive=1),
+            2: OperatorNode(op_id=2, kind="MergeJoin", children=(0, 1),
+                            cost_exclusive=1),
+            3: OperatorNode(op_id=3, kind="Output", children=(2,),
+                            cost_exclusive=1),
+        }
+        graph = decompose_stages(QueryPlan(job_id="j", nodes=nodes))
+        # Two source stages + join(+output) stage.
+        assert graph.num_stages == 3
+
+    def test_stage_work_uses_true_cost(self):
+        nodes = {
+            0: OperatorNode(op_id=0, kind="Extract", cost_exclusive=10,
+                            true_cost=20),
+        }
+        graph = decompose_stages(QueryPlan(job_id="j", nodes=nodes))
+        assert graph.total_work == pytest.approx(20.0)
+
+    def test_stage_work_falls_back_to_estimate(self):
+        nodes = {
+            0: OperatorNode(op_id=0, kind="Extract", cost_exclusive=10),
+        }
+        graph = decompose_stages(QueryPlan(job_id="j", nodes=nodes))
+        assert graph.total_work == pytest.approx(10.0)
+
+    def test_task_count_capped(self):
+        nodes = {
+            0: OperatorNode(op_id=0, kind="Extract", cost_exclusive=1,
+                            num_partitions=100_000),
+        }
+        graph = decompose_stages(QueryPlan(job_id="j", nodes=nodes))
+        assert graph.max_parallelism == MAX_TASKS_PER_STAGE
+
+    def test_generated_plans_decompose(self, workload_jobs):
+        for job in workload_jobs[:15]:
+            graph = decompose_stages(job.plan)
+            assert graph.num_stages >= 1
+            covered = {
+                op for s in graph.stages.values() for op in s.operator_ids
+            }
+            assert covered == set(job.plan.nodes)
+            graph.topological_order()  # must not raise
+
+
+class TestCostModel:
+    def test_task_seconds(self):
+        model = CostModel(seconds_per_cost_unit=0.01, startup_seconds=2.0)
+        assert model.task_seconds(1000.0, 10) == pytest.approx(3.0)
+
+    def test_more_tasks_shorter_tasks(self):
+        model = CostModel()
+        assert model.task_seconds(1e6, 100) < model.task_seconds(1e6, 10)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(PlanError):
+            CostModel().task_seconds(100.0, 0)
+
+    def test_critical_path_at_least_longest_chain(self):
+        graph = decompose_stages(_pipeline_plan())
+        model = CostModel()
+        critical = graph.critical_path_work(model)
+        longest_single = max(
+            s.task_duration(model) for s in graph.stages.values()
+        )
+        assert critical >= longest_single

@@ -1,0 +1,166 @@
+"""Unit tests for the TASQ pipelines, model store, and what-if analysis."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.models import TrainConfig, XGBoostSS
+from repro.tasq import (
+    ModelStore,
+    ScoringPipeline,
+    TasqConfig,
+    TrainingPipeline,
+    minimum_tokens_within_budget,
+    token_reduction_report,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(repository):
+    config = TasqConfig(
+        train_gnn=False,
+        nn_train_config=TrainConfig(epochs=20),
+    )
+    return TrainingPipeline(config).run(repository)
+
+
+class TestModelStore:
+    def test_register_and_get(self, trained):
+        store = ModelStore()
+        store.register("nn", trained.get("nn"), metadata={"note": "test"})
+        record = store.get("nn")
+        assert record.version == 1
+        assert record.metadata["note"] == "test"
+        assert "nn" in store
+
+    def test_versions_increment(self, trained):
+        store = ModelStore()
+        store.register("nn", trained.get("nn"))
+        store.register("nn", trained.get("nn"))
+        assert store.get("nn").version == 2
+        assert store.get("nn", version=1).version == 1
+
+    def test_missing_model(self):
+        with pytest.raises(PipelineError):
+            ModelStore().get("ghost")
+
+    def test_missing_version(self, trained):
+        store = ModelStore()
+        store.register("nn", trained.get("nn"))
+        with pytest.raises(PipelineError):
+            store.get("nn", version=9)
+
+    def test_disk_roundtrip(self, trained, tmp_path):
+        store = ModelStore(root=tmp_path)
+        store.register("nn", trained.get("nn"))
+        fresh = ModelStore(root=tmp_path)
+        record = fresh.load_from_disk("nn", 1)
+        assert record.name == "nn"
+        assert fresh.get("nn").version == 1
+
+
+class TestTrainingPipeline:
+    def test_trains_configured_models(self, trained):
+        assert set(trained.models) == {"xgboost_ss", "xgboost_pl", "nn"}
+
+    def test_registers_in_store(self, repository):
+        store = ModelStore()
+        config = TasqConfig(train_nn=False, train_gnn=False)
+        TrainingPipeline(config, store=store).run(repository)
+        assert store.names() == ["xgboost_pl", "xgboost_ss"]
+
+    def test_rejects_empty_config(self, repository):
+        config = TasqConfig(train_xgboost=False, train_nn=False, train_gnn=False)
+        with pytest.raises(PipelineError):
+            TrainingPipeline(config).run(repository)
+
+    def test_get_unknown_model(self, trained):
+        with pytest.raises(PipelineError):
+            trained.get("transformer")
+
+
+class TestScoringPipeline:
+    def test_recommendation_fields(self, trained, workload_jobs):
+        scorer = ScoringPipeline(trained.get("nn"))
+        job = workload_jobs[0]
+        rec = scorer.score(job.plan, job.requested_tokens)
+        assert rec.job_id == job.job_id
+        assert 1 <= rec.optimal_tokens <= job.requested_tokens
+        assert rec.pcc.is_non_increasing
+        assert rec.predicted_runtime_at_optimal >= rec.predicted_runtime_at_requested
+        assert 0 <= rec.token_savings < 1
+        assert rec.predicted_slowdown >= 0
+
+    def test_batch_scoring(self, trained, workload_jobs):
+        scorer = ScoringPipeline(trained.get("nn"))
+        jobs = workload_jobs[:5]
+        recs = scorer.score_batch(
+            [j.plan for j in jobs], [j.requested_tokens for j in jobs]
+        )
+        assert len(recs) == 5
+
+    def test_slo_floor_respected(self, trained, workload_jobs):
+        job = workload_jobs[0]
+        loose = ScoringPipeline(trained.get("nn"), improvement_threshold=0.5)
+        tight = ScoringPipeline(
+            trained.get("nn"), improvement_threshold=0.5, max_slowdown=0.01
+        )
+        loose_rec = loose.score(job.plan, job.requested_tokens)
+        tight_rec = tight.score(job.plan, job.requested_tokens)
+        assert tight_rec.optimal_tokens >= loose_rec.optimal_tokens
+        assert tight_rec.predicted_slowdown <= 0.011
+
+    def test_rejects_nonparametric_model(self, repository, dataset):
+        model = XGBoostSS(seed=0).fit(dataset)
+        scorer = ScoringPipeline(model)
+        record = repository.records()[0]
+        with pytest.raises(PipelineError):
+            scorer.score(record.plan, record.requested_tokens)
+
+    def test_rejects_bad_tokens(self, trained, workload_jobs):
+        scorer = ScoringPipeline(trained.get("nn"))
+        with pytest.raises(PipelineError):
+            scorer.score(workload_jobs[0].plan, 0)
+
+    def test_rejects_bad_threshold(self, trained):
+        with pytest.raises(PipelineError):
+            ScoringPipeline(trained.get("nn"), improvement_threshold=0)
+
+    def test_misaligned_batch(self, trained, workload_jobs):
+        scorer = ScoringPipeline(trained.get("nn"))
+        with pytest.raises(PipelineError):
+            scorer.score_batch([workload_jobs[0].plan], [10, 20])
+
+
+class TestWhatIf:
+    def test_minimum_tokens_monotone_in_budget(self, repository):
+        record = max(repository.records(), key=lambda r: r.peak_tokens)
+        tight = minimum_tokens_within_budget(record, 0.0)
+        loose = minimum_tokens_within_budget(record, 0.10)
+        assert loose <= tight <= record.requested_tokens
+
+    def test_zero_budget_allows_trim_to_peak(self, repository):
+        for record in repository.records()[:10]:
+            minimum = minimum_tokens_within_budget(record, 0.0)
+            # Allocating the (rounded-up) peak changes nothing.
+            assert minimum <= int(np.ceil(record.peak_tokens)) + 1
+
+    def test_report_fractions_sum_to_one(self, repository):
+        report = token_reduction_report(repository, 0.05)
+        assert sum(report.bucket_fractions.values()) == pytest.approx(1.0)
+        assert 0 <= report.fraction_reducible() <= 1
+        assert 0 <= report.fraction_halvable() <= 1
+
+    def test_looser_budget_more_reducible(self, repository):
+        strict = token_reduction_report(repository, 0.0)
+        loose = token_reduction_report(repository, 0.10)
+        assert loose.fraction_reducible() >= strict.fraction_reducible()
+        assert loose.mean_reduction >= strict.mean_reduction
+
+    def test_rejects_negative_budget(self, repository):
+        with pytest.raises(PipelineError):
+            token_reduction_report(repository, -0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(PipelineError):
+            token_reduction_report([], 0.0)

@@ -1,0 +1,141 @@
+"""Unit tests for loss-weight tuning and the command-line interface."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models import NNPCCModel, TrainConfig, tune_runtime_weight
+from repro.cli import build_parser, main
+
+
+class TestWeightTuning:
+    @pytest.fixture(scope="class")
+    def split(self, dataset):
+        from repro.models.dataset import PCCDataset
+
+        half = len(dataset) // 2
+        train = PCCDataset(examples=dataset.examples[:half])
+        validation = PCCDataset(examples=dataset.examples[half:])
+        return train, validation
+
+    def test_picks_an_offered_weight(self, split):
+        train, validation = split
+
+        def factory(loss):
+            return NNPCCModel(loss=loss, train_config=TrainConfig(epochs=10),
+                              seed=0)
+
+        result = tune_runtime_weight(
+            factory, train, validation, weights=(0.1, 0.5, 1.0)
+        )
+        assert result.best_weight in (0.1, 0.5, 1.0)
+        assert len(result.trials) == 3
+        assert result.lf1_param_mae > 0
+        best = result.best_trial()
+        assert best[0] == result.best_weight
+
+    def test_admissible_rule(self, split):
+        """The winner's parameter MAE stays near LF1 unless none can."""
+        train, validation = split
+
+        def factory(loss):
+            return NNPCCModel(loss=loss, train_config=TrainConfig(epochs=10),
+                              seed=0)
+
+        result = tune_runtime_weight(
+            factory, train, validation, weights=(0.25, 0.5), tolerance=1.5
+        )
+        best = result.best_trial()
+        admissible = [
+            t for t in result.trials
+            if t[1] <= 1.5 * result.lf1_param_mae
+        ]
+        if admissible:
+            assert best in admissible
+            assert best[2] == min(t[2] for t in admissible)
+
+    def test_rejects_bad_inputs(self, split):
+        train, validation = split
+        with pytest.raises(ModelError):
+            tune_runtime_weight(lambda loss: None, train, validation,
+                                weights=())
+        with pytest.raises(ModelError):
+            tune_runtime_weight(lambda loss: None, train, validation,
+                                tolerance=0.5)
+
+
+class TestCLI:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "stats", "train", "score", "whatif",
+                        "flight"):
+            assert command in text
+
+    @pytest.fixture(scope="class")
+    def repo_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "hist.npz"
+        code = main(
+            ["generate", "--jobs", "25", "--seed", "4", "--out", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_stats(self, repo_file, capsys):
+        assert main(["stats", "--repo", str(repo_file)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime_median" in out
+        assert "recurring jobs" in out
+
+    def test_train_and_score(self, repo_file, tmp_path, capsys):
+        model_path = tmp_path / "model.pkl"
+        code = main(
+            [
+                "train", "--repo", str(repo_file), "--model", "nn",
+                "--epochs", "5", "--out", str(model_path),
+            ]
+        )
+        assert code == 0
+        assert model_path.exists()
+        with open(model_path, "rb") as handle:
+            model = pickle.load(handle)
+        assert model.num_parameters() > 0
+
+        code = main(
+            [
+                "score", "--model", str(model_path), "--repo",
+                str(repo_file), "--limit", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+
+    def test_score_unknown_job(self, repo_file, tmp_path):
+        model_path = tmp_path / "model.pkl"
+        main(["train", "--repo", str(repo_file), "--model", "xgboost",
+              "--out", str(model_path)])
+        code = main(
+            [
+                "score", "--model", str(model_path), "--repo",
+                str(repo_file), "--job", "nope",
+            ]
+        )
+        assert code == 1
+
+    def test_whatif(self, repo_file, capsys):
+        code = main(
+            ["whatif", "--repo", str(repo_file), "--budget", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean reduction" in out
+
+    def test_flight(self, repo_file, capsys):
+        code = main(
+            ["flight", "--repo", str(repo_file), "--sample", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AREPAS error" in out

@@ -1,0 +1,107 @@
+"""Deeper tests for the what-if analysis (Figure 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.arepas import AREPAS
+from repro.exceptions import PipelineError
+from repro.scope import OperatorNode, QueryPlan, TelemetryRecord
+from repro.skyline import Skyline
+from repro.tasq import minimum_tokens_within_budget, token_reduction_report
+from repro.tasq.whatif import REDUCTION_BUCKETS
+
+
+def _record(usage, requested, job_id="job"):
+    plan = QueryPlan(
+        job_id=job_id,
+        nodes={0: OperatorNode(op_id=0, kind="Extract", cost_exclusive=1)},
+    )
+    return TelemetryRecord(
+        job_id=job_id,
+        plan=plan,
+        requested_tokens=requested,
+        skyline=Skyline(usage),
+        submit_day=0,
+        recurring=False,
+    )
+
+
+class TestMinimumTokens:
+    def test_binary_search_matches_linear_scan(self):
+        """Closed-loop check: the search equals brute force."""
+        usage = np.concatenate(
+            [np.full(30, 12.0), np.full(10, 40.0), np.full(30, 6.0)]
+        )
+        record = _record(usage, requested=64)
+        simulator = AREPAS()
+        for budget in (0.0, 0.05, 0.25):
+            found = minimum_tokens_within_budget(record, budget, simulator)
+            limit = record.runtime * (1 + budget)
+            brute = next(
+                tokens
+                for tokens in range(1, record.requested_tokens + 1)
+                if simulator.runtime(record.skyline, tokens) <= limit
+            )
+            assert found == brute
+
+    def test_over_allocated_job_trims_free_of_charge(self):
+        usage = np.full(60, 10.0)  # flat at 10 tokens, requested 100
+        record = _record(usage, requested=100)
+        assert minimum_tokens_within_budget(record, 0.0) == 10
+
+    def test_fully_utilised_job_cannot_trim(self):
+        usage = np.full(60, 100.0)
+        record = _record(usage, requested=100)
+        # Any reduction lengthens the run; with zero budget nothing moves.
+        assert minimum_tokens_within_budget(record, 0.0) == 100
+
+    def test_budget_unlocks_reduction(self):
+        usage = np.full(60, 100.0)
+        record = _record(usage, requested=100)
+        with_budget = minimum_tokens_within_budget(record, 0.25)
+        assert with_budget < 100
+        simulator = AREPAS()
+        assert (
+            simulator.runtime(record.skyline, with_budget)
+            <= record.runtime * 1.25
+        )
+
+    def test_rejects_negative_budget(self):
+        record = _record(np.full(10, 5.0), requested=10)
+        with pytest.raises(PipelineError):
+            minimum_tokens_within_budget(record, -0.1)
+
+
+class TestReductionBuckets:
+    def test_bucket_edges_are_exclusive_inclusive(self):
+        """A job reducible by exactly 25% lands in the 0-25% bucket."""
+        records = [
+            # peak 75 of 100 requested -> exactly 25% reduction possible
+            _record(np.full(40, 75.0), requested=100, job_id="edge"),
+        ]
+        report = token_reduction_report(records, 0.0)
+        assert report.bucket_fractions["0-25%"] == 1.0
+
+    def test_zero_bucket(self):
+        records = [_record(np.full(40, 100.0), requested=100, job_id="full")]
+        report = token_reduction_report(records, 0.0)
+        assert report.bucket_fractions["0%"] == 1.0
+        assert report.fraction_reducible() == 0.0
+
+    def test_deep_reduction_bucket(self):
+        records = [_record(np.full(40, 10.0), requested=100, job_id="deep")]
+        report = token_reduction_report(records, 0.0)
+        assert report.bucket_fractions[">50%"] == 1.0
+        assert report.fraction_halvable() == 1.0
+
+    def test_bucket_labels_stable(self):
+        labels = [label for label, _, _ in REDUCTION_BUCKETS]
+        assert labels == ["0%", "0-25%", "25-50%", ">50%"]
+
+    def test_mean_reduction(self):
+        records = [
+            _record(np.full(40, 100.0), requested=100, job_id="a"),  # 0%
+            _record(np.full(40, 50.0), requested=100, job_id="b"),  # 50%
+        ]
+        report = token_reduction_report(records, 0.0)
+        assert report.mean_reduction == pytest.approx(0.25)
