@@ -41,6 +41,12 @@ from repro.scope import (
     WorkloadGenerator,
     run_workload,
 )
+from repro.serving import (
+    AllocationServer,
+    LoadGenerator,
+    MetricsRegistry,
+    ServerConfig,
+)
 from repro.skyline import Skyline
 from repro.tasq import (
     ScoringPipeline,
@@ -77,5 +83,9 @@ __all__ = [
     "ScoringPipeline",
     "TokenRecommendation",
     "token_reduction_report",
+    "AllocationServer",
+    "ServerConfig",
+    "MetricsRegistry",
+    "LoadGenerator",
     "__version__",
 ]

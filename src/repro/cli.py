@@ -8,7 +8,10 @@ Subcommands mirror the production workflow of Figure 4:
 * ``train`` — fit a PCC model on a repository and pickle it,
 * ``score`` — predict PCCs and token recommendations for jobs,
 * ``whatif`` — the Figure 2 token-reduction analysis,
-* ``flight`` — re-execute a sample of jobs and validate AREPAS.
+* ``flight`` — re-execute a sample of jobs and validate AREPAS,
+* ``serve`` — run the in-process allocation server over a repository,
+* ``loadtest`` — drive the server with a generated workload and report
+  throughput, tail latency, cache hit rate, and shed rate.
 
 Example session::
 
@@ -16,6 +19,8 @@ Example session::
     python -m repro train --repo history.npz --model nn --out nn.pkl
     python -m repro score --model nn.pkl --repo history.npz --limit 5
     python -m repro whatif --repo history.npz --budget 0.05
+    python -m repro serve --model nn.pkl --repo history.npz
+    python -m repro loadtest --jobs 200 --workers 4
 """
 
 from __future__ import annotations
@@ -33,6 +38,12 @@ from repro.models.nn_model import NNPCCModel
 from repro.models.xgboost_models import XGBoostPL
 from repro.scope import WorkloadGenerator, run_workload
 from repro.scope.serialization import load_repository, save_repository
+from repro.serving import (
+    AllocationServer,
+    LoadGenerator,
+    LoadgenConfig,
+    ServerConfig,
+)
 from repro.tasq import ScoringPipeline, token_reduction_report
 
 __all__ = ["main", "build_parser"]
@@ -164,6 +175,128 @@ def _cmd_flight(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    with open(args.model, "rb") as handle:
+        model = pickle.load(handle)
+    repository = load_repository(args.repo)
+    records = repository.records()[: args.limit]
+
+    pipeline = ScoringPipeline(
+        model,
+        improvement_threshold=args.threshold,
+        max_slowdown=args.max_slowdown,
+    )
+    config = ServerConfig(
+        workers=args.workers,
+        max_batch_size=args.batch,
+        deadline_s=args.deadline,
+    )
+    server = AllocationServer(pipeline, config, repository=repository)
+    print(
+        f"serving {len(records)} jobs through "
+        f"{config.workers} workers (batch <= {config.max_batch_size}) ...",
+        file=sys.stderr,
+    )
+    header = (
+        f"{'job':<20} {'status':<8} {'requested':>9} {'granted':>8} "
+        f"{'latency':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    with server:
+        responses = []
+        for record in records:
+            response = server.request(record.plan, record.requested_tokens)
+            responses.append((record, response))
+            granted = response.tokens if response.tokens is not None else "-"
+            print(
+                f"{response.job_id:<20} {response.status.value:<8} "
+                f"{record.requested_tokens:>9} {granted:>8} "
+                f"{response.latency_s * 1e3:>8.2f}ms"
+            )
+        # Completed-job feedback: the repository knows each job's actual
+        # run time, so replaying it exercises the full monitoring loop.
+        for record, response in responses:
+            server.record_completion(response, float(record.runtime))
+
+    snapshot = server.metrics.snapshot()
+    counters, gauges = snapshot["counters"], snapshot["gauges"]
+    latency = snapshot["histograms"].get("latency_s", {})
+    print()
+    print(f"{'responses':>24}: ", end="")
+    print(
+        ", ".join(
+            f"{status} {counters.get(f'responses_{status}', 0)}"
+            for status in ("ok", "cached", "fallback", "rejected")
+        )
+    )
+    for quantile in ("p50", "p95", "p99"):
+        value = latency.get(quantile)
+        if value is not None:
+            print(f"{'latency ' + quantile:>24}: {value * 1e3:.2f} ms")
+    for name in (
+        "recommendation_cache_hit_rate",
+        "feature_cache_hit_rate",
+        "monitor_rolling_median_ape",
+        "monitor_needs_retraining",
+        "breaker_state",
+    ):
+        print(f"{name:>24}: {gauges.get(name)}")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.models.xgboost_models import XGBoostPL
+
+    generator = WorkloadGenerator(seed=args.seed)
+    jobs = generator.generate(args.jobs)
+    print(
+        f"building {len(jobs)}-job history + model (seed {args.seed}) ...",
+        file=sys.stderr,
+    )
+    repository = run_workload(jobs, seed=args.seed + 1)
+    model = XGBoostPL(seed=args.seed).fit(build_dataset(repository))
+
+    config = ServerConfig(
+        workers=args.workers,
+        max_batch_size=args.batch,
+        rate_limit_rps=args.rate_limit,
+        breaker_recovery_s=1.0,
+    )
+    server = AllocationServer(
+        ScoringPipeline(model), config, repository=repository
+    )
+    loadgen = LoadGenerator(
+        jobs,
+        LoadgenConfig(
+            requests=args.requests,
+            clients=args.clients,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+        ),
+    )
+    with server:
+        print(f"cold pass: {args.requests} requests ...", file=sys.stderr)
+        cold = loadgen.run(server)
+        print("== cold pass (empty caches) ==")
+        print(cold.render())
+        print()
+        print("warm pass: same schedule ...", file=sys.stderr)
+        warm = loadgen.run(server)
+        print("== warm pass (caches populated) ==")
+        print(warm.render())
+
+    gauges = server.metrics.snapshot()["gauges"]
+    print()
+    print(
+        f"recommendation cache hit rate (lifetime): "
+        f"{gauges['recommendation_cache_hit_rate']:.1%} · "
+        f"feature cache: {gauges['feature_cache_hit_rate']:.1%} · "
+        f"breaker: {gauges['breaker_state']}"
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -218,6 +351,38 @@ def build_parser() -> argparse.ArgumentParser:
     flight.add_argument("--sample", type=int, default=25)
     flight.add_argument("--seed", type=int, default=0)
     flight.set_defaults(func=_cmd_flight)
+
+    serve = sub.add_parser(
+        "serve", help="replay a repository through the allocation server"
+    )
+    serve.add_argument("--model", type=Path, required=True)
+    serve.add_argument("--repo", type=Path, required=True)
+    serve.add_argument("--limit", type=int, default=50)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--batch", type=int, default=8)
+    serve.add_argument("--deadline", type=float, default=None)
+    serve.add_argument("--threshold", type=float, default=0.01)
+    serve.add_argument("--max-slowdown", type=float, default=None)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="generate a workload and load-test the server"
+    )
+    loadtest.add_argument("--jobs", type=int, default=200)
+    loadtest.add_argument("--requests", type=int, default=400)
+    loadtest.add_argument("--workers", type=int, default=4)
+    loadtest.add_argument("--clients", type=int, default=4)
+    loadtest.add_argument("--batch", type=int, default=8)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="admitted requests/second (token bucket); default unlimited",
+    )
+    loadtest.add_argument(
+        "--arrival-rate", type=float, default=None,
+        help="open-loop arrival rate; default closed-loop clients",
+    )
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     return parser
 

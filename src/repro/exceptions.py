@@ -55,3 +55,7 @@ class FlightingError(ReproError):
 
 class PipelineError(ReproError):
     """Raised by the end-to-end TASQ training/scoring pipelines."""
+
+
+class ServingError(ReproError):
+    """Raised by the allocation-serving layer (server, caches, admission)."""

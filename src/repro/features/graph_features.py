@@ -21,7 +21,12 @@ from repro.features.operator_features import plan_feature_matrix
 from repro.features.schema import OPERATOR_SCHEMA, FeatureSchema
 from repro.scope.plan import QueryPlan
 
-__all__ = ["normalized_adjacency", "GraphSample", "plan_to_graph_sample"]
+__all__ = [
+    "normalized_adjacency",
+    "GraphSample",
+    "plan_to_graph_sample",
+    "graph_sample_from_matrix",
+]
 
 
 def normalized_adjacency(adjacency: np.ndarray) -> np.ndarray:
@@ -59,6 +64,12 @@ def plan_to_graph_sample(
     plan: QueryPlan, schema: FeatureSchema = OPERATOR_SCHEMA
 ) -> GraphSample:
     """Featurize a plan for the GNN: (node matrix, normalised adjacency)."""
-    features = plan_feature_matrix(plan, schema)
+    return graph_sample_from_matrix(plan_feature_matrix(plan, schema), plan)
+
+
+def graph_sample_from_matrix(
+    matrix: np.ndarray, plan: QueryPlan
+) -> GraphSample:
+    """Build a GNN sample from an already-computed operator feature matrix."""
     adjacency = normalized_adjacency(plan.adjacency_matrix())
-    return GraphSample(node_features=features, adjacency=adjacency)
+    return GraphSample(node_features=matrix, adjacency=adjacency)

@@ -18,14 +18,30 @@ from repro.features.operator_features import plan_feature_matrix
 from repro.features.schema import JOB_EXTRA_FEATURES, OPERATOR_SCHEMA, FeatureSchema
 from repro.scope.plan import QueryPlan
 
-__all__ = ["job_vector", "job_feature_matrix", "job_feature_names"]
+__all__ = [
+    "job_vector",
+    "job_vector_from_matrix",
+    "job_feature_matrix",
+    "job_feature_names",
+]
 
 
 def job_vector(
     plan: QueryPlan, schema: FeatureSchema = OPERATOR_SCHEMA
 ) -> np.ndarray:
     """Aggregate a plan into a ``P_J``-width job-level vector."""
-    matrix = plan_feature_matrix(plan, schema)
+    return job_vector_from_matrix(plan_feature_matrix(plan, schema), plan, schema)
+
+
+def job_vector_from_matrix(
+    matrix: np.ndarray, plan: QueryPlan, schema: FeatureSchema = OPERATOR_SCHEMA
+) -> np.ndarray:
+    """Aggregate an already-computed operator feature matrix.
+
+    Lets callers that need both the job vector and the GNN graph sample
+    (e.g. :func:`repro.tasq.pipeline.featurize`) run the per-operator
+    featurization once instead of once per representation.
+    """
     vector = np.zeros(schema.job_dim, dtype=np.float64)
 
     numeric = slice(0, schema.num_continuous + schema.num_discrete)

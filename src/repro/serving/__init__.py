@@ -1,0 +1,54 @@
+"""The allocation-serving layer: concurrent, cached, admission-controlled.
+
+Models the production deployment path of Figure 4 — the always-on
+endpoint that answers every incoming job's "how many tokens?" at
+compile time — as an in-process system: a bounded queue and worker
+pool with micro-batching (:mod:`~repro.serving.server`), signature-keyed
+recommendation/feature caches (:mod:`~repro.serving.cache`), token-bucket
+rate limiting plus a circuit breaker (:mod:`~repro.serving.admission`),
+degraded-mode fallbacks (:mod:`~repro.serving.fallback`), a metrics
+registry (:mod:`~repro.serving.metrics`), and a seeded load generator
+(:mod:`~repro.serving.loadgen`).
+"""
+
+from repro.serving.admission import BreakerState, CircuitBreaker, TokenBucket
+from repro.serving.cache import FeatureCache, LRUCache, RecommendationCache
+from repro.serving.fallback import (
+    FallbackPolicy,
+    HistoricalMedianFallback,
+    PassthroughFallback,
+    degraded_recommendation,
+)
+from repro.serving.loadgen import LoadGenerator, LoadgenConfig, LoadReport
+from repro.serving.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.serving.server import (
+    AllocationServer,
+    ResponseStatus,
+    ServeFuture,
+    ServeResponse,
+    ServerConfig,
+)
+
+__all__ = [
+    "TokenBucket",
+    "BreakerState",
+    "CircuitBreaker",
+    "LRUCache",
+    "RecommendationCache",
+    "FeatureCache",
+    "FallbackPolicy",
+    "PassthroughFallback",
+    "HistoricalMedianFallback",
+    "degraded_recommendation",
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ServerConfig",
+    "ResponseStatus",
+    "ServeResponse",
+    "ServeFuture",
+    "AllocationServer",
+    "LoadgenConfig",
+    "LoadReport",
+    "LoadGenerator",
+]

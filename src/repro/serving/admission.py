@@ -1,0 +1,207 @@
+"""Admission control: rate limiting, load shedding, circuit breaking.
+
+A serving endpoint that fronts a cluster-wide allocator must protect
+itself (and its callers) from three distinct overload shapes:
+
+* **sustained overload** — more requests per second than the scorer can
+  handle: a :class:`TokenBucket` admits a configured steady rate with a
+  bounded burst and sheds the rest *early*, before they consume queue
+  space;
+* **momentary bursts** — the server's bounded queue absorbs these; when
+  it fills, submissions are rejected explicitly (backpressure) rather
+  than queued into unbounded latency;
+* **dependency failure** — when the model keeps throwing, a
+  :class:`CircuitBreaker` stops sending traffic to it (open), probes it
+  periodically (half-open), and restores traffic once probes succeed
+  (closed), in the meantime letting the server answer from its fallback
+  policy instead of surfacing exceptions.
+
+Clocks are injectable so tests drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections.abc import Callable
+
+from repro.exceptions import ServingError
+
+__all__ = ["TokenBucket", "BreakerState", "CircuitBreaker"]
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter.
+
+    Permits accrue at ``rate`` per second up to ``capacity``; each
+    admitted request spends one. ``try_acquire`` never blocks — serving
+    sheds over-rate traffic instead of queueing it.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ServingError("rate must be positive (permits per second)")
+        if capacity < 1:
+            raise ServingError("bucket capacity must be at least 1")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._permits = float(capacity)
+        self._last_refill = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._permits = min(self.capacity, self._permits + elapsed * self.rate)
+
+    def try_acquire(self, permits: float = 1.0) -> bool:
+        """Spend ``permits`` if available; False means shed the request."""
+        if permits <= 0:
+            raise ServingError("must acquire a positive number of permits")
+        with self._lock:
+            self._refill()
+            if self._permits >= permits:
+                self._permits -= permits
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._permits
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    * **closed** — traffic flows; ``failure_threshold`` consecutive
+      failures trip the breaker.
+    * **open** — ``allow()`` is False; after ``recovery_time`` seconds
+      the breaker moves to half-open.
+    * **half-open** — up to ``half_open_probes`` calls are let through;
+      a failure re-opens (restarting the recovery clock), while
+      ``half_open_probes`` consecutive successes close the breaker.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServingError("failure threshold must be at least 1")
+        if recovery_time <= 0:
+            raise ServingError("recovery time must be positive")
+        if half_open_probes < 1:
+            raise ServingError("need at least one half-open probe")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._trip_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def trip_count(self) -> int:
+        """How many times the breaker has opened over its lifetime."""
+        with self._lock:
+            return self._trip_count
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    def allow(self) -> bool:
+        """May a scoring call proceed right now?
+
+        In half-open state this *reserves* a probe slot, so at most
+        ``half_open_probes`` calls hit the model concurrently while it
+        is being felt out.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = BreakerState.CLOSED
+                    self._consecutive_failures = 0
+                    self._opened_at = None
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._trip_count += 1
+
+    def reset(self) -> None:
+        """Force-close (e.g. after redeploying a fixed model)."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probes_in_flight = 0
+            self._probe_successes = 0

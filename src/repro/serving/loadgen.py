@@ -1,0 +1,219 @@
+"""Seeded load generation against an :class:`AllocationServer`.
+
+Serving work is only credible with a workload behind it. The generator
+builds a deterministic request schedule from the synthetic SCOPE
+population (`repro.scope.generator`) and drives the server in either
+mode:
+
+* **closed loop** — ``clients`` threads, each submitting its next
+  request as soon as the previous one completes (models a fixed-size
+  caller population; throughput adapts to server speed);
+* **open loop** — requests submitted at a fixed arrival rate regardless
+  of completion (models independent outside traffic; overload shows up
+  as queue growth and load shedding rather than slower arrivals).
+
+The schedule samples jobs with a Zipf-flavoured skew so a handful of
+recurring pipelines dominate traffic — the production shape that makes
+the recommendation cache matter. With one client (or in open loop, one
+generation seed) the schedule, responses, and count-based statistics
+are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.scope.generator import JobInstance
+from repro.serving.server import AllocationServer, ResponseStatus, ServeFuture
+
+__all__ = ["LoadgenConfig", "LoadReport", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one load-generation run."""
+
+    #: Total requests to issue.
+    requests: int = 400
+    #: Concurrent closed-loop clients (ignored in open-loop mode).
+    clients: int = 4
+    #: Zipf-like skew of job popularity; 0 = uniform traffic.
+    popularity_skew: float = 1.1
+    #: Open-loop arrival rate in requests/second (None = closed loop).
+    arrival_rate: float | None = None
+    #: RNG seed for the request schedule.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ServingError("need at least one request")
+        if self.clients < 1:
+            raise ServingError("need at least one client")
+        if self.popularity_skew < 0:
+            raise ServingError("popularity skew must be non-negative")
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ServingError("arrival rate must be positive when set")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one load-generation run observed."""
+
+    requests: int
+    duration_s: float
+    throughput_rps: float
+    ok: int
+    cached: int
+    fallback: int
+    rejected: int
+    latency_p50_s: float | None
+    latency_p95_s: float | None
+    latency_p99_s: float | None
+    cache_hit_rate: float | None
+    shed_rate: float
+    fallback_rate: float
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+
+        def _ms(value: float | None) -> str:
+            return f"{value * 1e3:8.2f} ms" if value is not None else "     n/a"
+
+        hit = (
+            f"{self.cache_hit_rate:.1%}"
+            if self.cache_hit_rate is not None
+            else "n/a"
+        )
+        return "\n".join(
+            [
+                f"requests        {self.requests:>8}"
+                f"   (ok {self.ok}, cached {self.cached},"
+                f" fallback {self.fallback}, rejected {self.rejected})",
+                f"duration        {self.duration_s:>8.2f} s"
+                f"   throughput {self.throughput_rps:,.0f} req/s",
+                f"latency p50     {_ms(self.latency_p50_s)}",
+                f"latency p95     {_ms(self.latency_p95_s)}",
+                f"latency p99     {_ms(self.latency_p99_s)}",
+                f"cache hit rate  {hit:>8}",
+                f"shed rate       {self.shed_rate:>8.1%}",
+                f"fallback rate   {self.fallback_rate:>8.1%}",
+            ]
+        )
+
+
+class LoadGenerator:
+    """Drives a server with a deterministic, popularity-skewed schedule."""
+
+    def __init__(self, jobs: list[JobInstance], config: LoadgenConfig | None = None):
+        if not jobs:
+            raise ServingError("load generation needs at least one job")
+        self.jobs = list(jobs)
+        self.config = config or LoadgenConfig()
+
+    # ------------------------------------------------------------------
+    def schedule(self) -> list[JobInstance]:
+        """The request sequence: seeded, popularity-skewed job sampling."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        ranks = np.arange(1, len(self.jobs) + 1, dtype=float)
+        weights = np.power(ranks, -config.popularity_skew)
+        weights /= weights.sum()
+        order = rng.permutation(len(self.jobs))  # decouple rank from job id
+        indices = rng.choice(len(self.jobs), size=config.requests, p=weights)
+        return [self.jobs[order[i]] for i in indices]
+
+    # ------------------------------------------------------------------
+    def run(self, server: AllocationServer) -> LoadReport:
+        """Issue the schedule against ``server`` and summarise the answers."""
+        schedule = self.schedule()
+        responses: list = [None] * len(schedule)
+        started = time.perf_counter()
+        if self.config.arrival_rate is None:
+            self._run_closed_loop(server, schedule, responses)
+        else:
+            self._run_open_loop(server, schedule, responses)
+        duration = max(time.perf_counter() - started, 1e-9)
+        return self._report(responses, duration)
+
+    def _run_closed_loop(
+        self, server: AllocationServer, schedule: list[JobInstance], responses: list
+    ) -> None:
+        cursor_lock = threading.Lock()
+        cursor = {"next": 0}
+
+        def client() -> None:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(schedule):
+                        return
+                    cursor["next"] = index + 1
+                job = schedule[index]
+                responses[index] = server.request(
+                    job.plan, job.requested_tokens, timeout=60.0
+                )
+
+        threads = [
+            threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
+            for i in range(min(self.config.clients, len(schedule)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def _run_open_loop(
+        self, server: AllocationServer, schedule: list[JobInstance], responses: list
+    ) -> None:
+        assert self.config.arrival_rate is not None
+        interval = 1.0 / self.config.arrival_rate
+        futures: list[ServeFuture] = []
+        next_send = time.perf_counter()
+        for job in schedule:
+            delay = next_send - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(server.submit(job.plan, job.requested_tokens))
+            next_send += interval
+        for index, future in enumerate(futures):
+            responses[index] = future.result(timeout=60.0)
+
+    # ------------------------------------------------------------------
+    def _report(self, responses: list, duration: float) -> LoadReport:
+        answered = [r for r in responses if r is not None]
+        by_status = {status: 0 for status in ResponseStatus}
+        for response in answered:
+            by_status[response.status] += 1
+        latencies = sorted(r.latency_s for r in answered)
+
+        def percentile(q: float) -> float | None:
+            if not latencies:
+                return None
+            rank = min(len(latencies) - 1, int(round(q * (len(latencies) - 1))))
+            return latencies[rank]
+
+        total = len(answered)
+        cached = by_status[ResponseStatus.CACHED]
+        model_answered = by_status[ResponseStatus.OK] + cached
+        return LoadReport(
+            requests=total,
+            duration_s=duration,
+            throughput_rps=total / duration,
+            ok=by_status[ResponseStatus.OK],
+            cached=cached,
+            fallback=by_status[ResponseStatus.FALLBACK],
+            rejected=by_status[ResponseStatus.REJECTED],
+            latency_p50_s=percentile(0.50),
+            latency_p95_s=percentile(0.95),
+            latency_p99_s=percentile(0.99),
+            cache_hit_rate=cached / model_answered if model_answered else None,
+            shed_rate=by_status[ResponseStatus.REJECTED] / total if total else 0.0,
+            fallback_rate=(
+                by_status[ResponseStatus.FALLBACK] / total if total else 0.0
+            ),
+        )

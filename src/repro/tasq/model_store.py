@@ -3,11 +3,18 @@
 An in-process registry of fitted models with metadata and optional
 pickle-backed persistence, standing in for the Azure ML model store +
 AKS deployment plumbing of the production system.
+
+The store is thread-safe: the serving layer reads models from worker
+threads while a training pipeline may concurrently register a newer
+version, and :meth:`ModelStore.latest` lets a long-running
+:class:`~repro.serving.server.AllocationServer` hot-swap to the newest
+deployment without restarting.
 """
 
 from __future__ import annotations
 
 import pickle
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,10 +35,18 @@ class ModelRecord:
 
 
 class ModelStore:
-    """Versioned in-memory model registry with optional disk persistence."""
+    """Versioned, thread-safe in-memory model registry.
+
+    Optionally persists records to disk (``root``). All mutating and
+    reading operations hold one re-entrant lock; registration and lookup
+    may therefore race freely across threads, with lookups always seeing
+    a consistent version list.
+    """
 
     def __init__(self, root: Path | str | None = None) -> None:
         self._records: dict[str, list[ModelRecord]] = {}
+        self._lock = threading.RLock()
+        self._last_registered: ModelRecord | None = None
         self._root = Path(root) if root is not None else None
         if self._root is not None:
             self._root.mkdir(parents=True, exist_ok=True)
@@ -41,14 +56,16 @@ class ModelStore:
         self, name: str, model: PCCPredictor, metadata: dict | None = None
     ) -> ModelRecord:
         """Register a fitted model under ``name``; versions auto-increment."""
-        versions = self._records.setdefault(name, [])
-        record = ModelRecord(
-            name=name,
-            model=model,
-            version=len(versions) + 1,
-            metadata=dict(metadata or {}),
-        )
-        versions.append(record)
+        with self._lock:
+            versions = self._records.setdefault(name, [])
+            record = ModelRecord(
+                name=name,
+                model=model,
+                version=len(versions) + 1,
+                metadata=dict(metadata or {}),
+            )
+            versions.append(record)
+            self._last_registered = record
         if self._root is not None:
             path = self._root / f"{name}-v{record.version}.pkl"
             with open(path, "wb") as handle:
@@ -57,21 +74,38 @@ class ModelStore:
 
     def get(self, name: str, version: int | None = None) -> ModelRecord:
         """Fetch a model by name (latest version by default)."""
-        versions = self._records.get(name)
-        if not versions:
-            raise PipelineError(f"no model registered under {name!r}")
-        if version is None:
-            return versions[-1]
-        for record in versions:
-            if record.version == version:
-                return record
-        raise PipelineError(f"model {name!r} has no version {version}")
+        with self._lock:
+            versions = self._records.get(name)
+            if not versions:
+                raise PipelineError(f"no model registered under {name!r}")
+            if version is None:
+                return versions[-1]
+            for record in versions:
+                if record.version == version:
+                    return record
+            raise PipelineError(f"model {name!r} has no version {version}")
+
+    def latest(self, name: str | None = None) -> ModelRecord:
+        """Newest version of ``name``, or the most recently registered
+        record across all names when ``name`` is omitted.
+
+        This is the hot-swap hook: a serving worker polls ``latest`` and
+        switches models whenever the returned version advances.
+        """
+        with self._lock:
+            if name is not None:
+                return self.get(name)
+            if self._last_registered is None:
+                raise PipelineError("the model store is empty")
+            return self._last_registered
 
     def names(self) -> list[str]:
-        return sorted(self._records)
+        with self._lock:
+            return sorted(self._records)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._records
+        with self._lock:
+            return name in self._records
 
     # ------------------------------------------------------------------
     def load_from_disk(self, name: str, version: int) -> ModelRecord:
@@ -83,5 +117,7 @@ class ModelStore:
             raise PipelineError(f"no persisted model at {path}")
         with open(path, "rb") as handle:
             record = pickle.load(handle)
-        self._records.setdefault(name, []).append(record)
+        with self._lock:
+            self._records.setdefault(name, []).append(record)
+            self._last_registered = record
         return record

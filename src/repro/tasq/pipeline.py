@@ -19,8 +19,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import PipelineError
-from repro.features.graph_features import plan_to_graph_sample
-from repro.features.job_features import job_vector
+from repro.features.graph_features import GraphSample, graph_sample_from_matrix
+from repro.features.job_features import job_vector_from_matrix
+from repro.features.operator_features import plan_feature_matrix
+from repro.features.schema import OPERATOR_SCHEMA, FeatureSchema
 from repro.models.base import PCCPredictor
 from repro.models.dataset import PCCDataset, PCCExample, build_dataset
 from repro.models.gnn_model import GNNPCCModel
@@ -38,6 +40,8 @@ __all__ = [
     "TrainedModels",
     "TrainingPipeline",
     "TokenRecommendation",
+    "PlanFeatures",
+    "featurize",
     "ScoringPipeline",
 ]
 
@@ -137,24 +141,61 @@ class TokenRecommendation:
         )
 
 
-def _scoring_dataset(plans: list[QueryPlan], tokens: np.ndarray) -> PCCDataset:
+@dataclass(frozen=True)
+class PlanFeatures:
+    """Both model-facing representations of one compile-time plan.
+
+    Produced by :func:`featurize`; pure (depends only on the plan), so
+    serving layers can cache it and hand it back to
+    :meth:`ScoringPipeline.score_batch` to skip re-featurization.
+    """
+
+    job_vector: np.ndarray
+    graph: GraphSample
+
+
+def featurize(
+    plan: QueryPlan, schema: FeatureSchema = OPERATOR_SCHEMA
+) -> PlanFeatures:
+    """Featurize a plan once for every model family.
+
+    Runs the per-operator featurization (the expensive step) a single
+    time and derives both the aggregated job vector (XGBoost/NN input)
+    and the graph sample (GNN input) from the same matrix — previously
+    each representation recomputed the matrix independently.
+    """
+    matrix = plan_feature_matrix(plan, schema)
+    return PlanFeatures(
+        job_vector=job_vector_from_matrix(matrix, plan, schema),
+        graph=graph_sample_from_matrix(matrix, plan),
+    )
+
+
+def _scoring_dataset(
+    plans: list[QueryPlan],
+    tokens: np.ndarray,
+    features: list[PlanFeatures] | None = None,
+) -> PCCDataset:
     """Wrap compile-time plans into the dataset shape models consume.
 
     Scoring has no ground truth, so targets/observations are inert
     placeholders — prediction paths only read features and the reference
-    token counts.
+    token counts. Pass precomputed ``features`` (from :func:`featurize`)
+    to skip featurization, e.g. when a serving cache already holds them.
     """
     placeholder = PowerLawPCC(a=-1.0, b=1.0)
+    if features is None:
+        features = [featurize(plan) for plan in plans]
     dataset = PCCDataset()
-    for plan, requested in zip(plans, tokens):
+    for plan, requested, feats in zip(plans, tokens, features):
         dataset.examples.append(
             PCCExample(
                 job_id=plan.job_id,
                 observed_tokens=float(requested),
                 observed_runtime=1.0,
                 target_pcc=placeholder,
-                job_features=job_vector(plan),
-                graph=plan_to_graph_sample(plan),
+                job_features=feats.job_vector,
+                graph=feats.graph,
                 point_observations=(),
             )
         )
@@ -189,20 +230,38 @@ class ScoringPipeline:
         self.improvement_threshold = improvement_threshold
         self.max_slowdown = max_slowdown
 
-    def score(self, plan: QueryPlan, requested_tokens: int) -> TokenRecommendation:
+    def score(
+        self,
+        plan: QueryPlan,
+        requested_tokens: int,
+        features: PlanFeatures | None = None,
+    ) -> TokenRecommendation:
         """Recommendation for a single incoming job."""
-        return self.score_batch([plan], [requested_tokens])[0]
+        feature_list = None if features is None else [features]
+        return self.score_batch([plan], [requested_tokens], feature_list)[0]
 
     def score_batch(
-        self, plans: list[QueryPlan], requested_tokens: list[int]
+        self,
+        plans: list[QueryPlan],
+        requested_tokens: list[int],
+        features: list[PlanFeatures] | None = None,
     ) -> list[TokenRecommendation]:
-        """Recommendations for a batch of incoming jobs."""
+        """Recommendations for a batch of incoming jobs.
+
+        ``features`` optionally carries precomputed :class:`PlanFeatures`
+        (one per plan, e.g. from a serving feature cache) so plans are
+        not re-featurized on every call.
+        """
         if len(plans) != len(requested_tokens):
             raise PipelineError("plans and token requests must align")
+        if features is not None and len(features) != len(plans):
+            raise PipelineError("plans and precomputed features must align")
         if any(t < 1 for t in requested_tokens):
             raise PipelineError("requested tokens must be positive")
 
-        dataset = _scoring_dataset(plans, np.asarray(requested_tokens, float))
+        dataset = _scoring_dataset(
+            plans, np.asarray(requested_tokens, float), features
+        )
         pccs = self.model.predict_pccs(dataset)
         if pccs is None:
             raise PipelineError(

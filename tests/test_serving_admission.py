@@ -1,0 +1,142 @@
+"""Unit tests for admission control: rate limiting + circuit breaking.
+
+Both components take an injectable clock, so these tests drive time
+explicitly and are fully deterministic.
+"""
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import BreakerState, CircuitBreaker, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_shed(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=4, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(1.0)  # 2 permits back
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            TokenBucket(rate=0.0, capacity=1)
+        with pytest.raises(ServingError):
+            TokenBucket(rate=1.0, capacity=0)
+        with pytest.raises(ServingError):
+            TokenBucket(rate=1.0, capacity=1).try_acquire(0)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, recovery=10.0, probes=1):
+        return CircuitBreaker(
+            failure_threshold=threshold,
+            recovery_time=recovery,
+            half_open_probes=probes,
+            clock=clock,
+        )
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = self.make(FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.trip_count == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_recovery_time(self):
+        clock = FakeClock()
+        breaker = self.make(clock, recovery=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # only two probes in flight
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN  # one probe to go
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trip_count == 2
+        # the recovery clock restarted at the re-trip
+        clock.advance(9.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_reset_forces_closed(self):
+        breaker = self.make(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()

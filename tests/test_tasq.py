@@ -1,15 +1,20 @@
 """Unit tests for the TASQ pipelines, model store, and what-if analysis."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.exceptions import PipelineError
+from repro.features.graph_features import plan_to_graph_sample
+from repro.features.job_features import job_vector
 from repro.models import TrainConfig, XGBoostSS
 from repro.tasq import (
     ModelStore,
     ScoringPipeline,
     TasqConfig,
     TrainingPipeline,
+    featurize,
     minimum_tokens_within_budget,
     token_reduction_report,
 )
@@ -57,6 +62,63 @@ class TestModelStore:
         record = fresh.load_from_disk("nn", 1)
         assert record.name == "nn"
         assert fresh.get("nn").version == 1
+
+    def test_latest_by_name(self, trained):
+        store = ModelStore()
+        store.register("nn", trained.get("nn"))
+        store.register("nn", trained.get("nn"))
+        assert store.latest("nn").version == 2
+
+    def test_latest_across_names(self, trained):
+        store = ModelStore()
+        with pytest.raises(PipelineError):
+            store.latest()
+        store.register("nn", trained.get("nn"))
+        store.register("xgboost_pl", trained.get("xgboost_pl"))
+        assert store.latest().name == "xgboost_pl"
+        store.register("nn", trained.get("nn"))
+        latest = store.latest()
+        assert (latest.name, latest.version) == ("nn", 2)
+
+    def test_concurrent_register_and_get(self, trained):
+        """Writers and readers race on the store without corruption."""
+        store = ModelStore()
+        model = trained.get("nn")
+        store.register("nn", model)
+        errors = []
+        registrations_per_writer = 25
+
+        def writer():
+            try:
+                for _ in range(registrations_per_writer):
+                    store.register("nn", model)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(200):
+                    record = store.get("nn")
+                    assert record.version >= 1
+                    assert store.latest("nn").version >= record.version
+                    assert "nn" in store
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # every registration got a unique, dense version number
+        versions = [
+            store.get("nn", version=v).version
+            for v in range(1, 4 * registrations_per_writer + 2)
+        ]
+        assert versions == list(range(1, 4 * registrations_per_writer + 2))
+        assert store.latest("nn").version == 4 * registrations_per_writer + 1
 
 
 class TestTrainingPipeline:
@@ -130,6 +192,51 @@ class TestScoringPipeline:
         scorer = ScoringPipeline(trained.get("nn"))
         with pytest.raises(PipelineError):
             scorer.score_batch([workload_jobs[0].plan], [10, 20])
+
+    def test_misaligned_features(self, trained, workload_jobs):
+        scorer = ScoringPipeline(trained.get("nn"))
+        plan = workload_jobs[0].plan
+        with pytest.raises(PipelineError):
+            scorer.score_batch([plan], [10], [featurize(plan)] * 2)
+
+
+class TestFeaturize:
+    def test_matches_per_representation_featurizers(self, workload_jobs):
+        plan = workload_jobs[0].plan
+        features = featurize(plan)
+        np.testing.assert_allclose(features.job_vector, job_vector(plan))
+        direct = plan_to_graph_sample(plan)
+        np.testing.assert_allclose(
+            features.graph.node_features, direct.node_features
+        )
+        np.testing.assert_allclose(features.graph.adjacency, direct.adjacency)
+
+    def test_precomputed_features_give_identical_recommendations(
+        self, trained, workload_jobs
+    ):
+        scorer = ScoringPipeline(trained.get("nn"))
+        jobs = workload_jobs[:5]
+        plans = [j.plan for j in jobs]
+        tokens = [j.requested_tokens for j in jobs]
+        fresh = scorer.score_batch(plans, tokens)
+        reused = scorer.score_batch(
+            plans, tokens, [featurize(p) for p in plans]
+        )
+        for a, b in zip(fresh, reused):
+            assert a.job_id == b.job_id
+            assert a.optimal_tokens == b.optimal_tokens
+            assert a.pcc.a == pytest.approx(b.pcc.a)
+            assert a.pcc.b == pytest.approx(b.pcc.b)
+
+    def test_single_score_accepts_features(self, trained, workload_jobs):
+        scorer = ScoringPipeline(trained.get("nn"))
+        job = workload_jobs[0]
+        rec = scorer.score(
+            job.plan, job.requested_tokens, features=featurize(job.plan)
+        )
+        assert rec.optimal_tokens == scorer.score(
+            job.plan, job.requested_tokens
+        ).optimal_tokens
 
 
 class TestWhatIf:
