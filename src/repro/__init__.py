@@ -25,6 +25,7 @@ Quickstart::
 from repro.arepas import AREPAS, simulate_runtime, simulate_skyline
 from repro.exceptions import ReproError
 from repro.flighting import FlightHarness, build_flighted_dataset
+from repro import obs
 from repro.models import (
     GNNPCCModel,
     NNPCCModel,
@@ -59,6 +60,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "obs",
     "Skyline",
     "AREPAS",
     "simulate_skyline",

@@ -1,4 +1,16 @@
-"""AREPAS: area-preserving skyline simulation and data augmentation."""
+"""AREPAS: area-preserving skyline simulation and data augmentation.
+
+Reproduces §3 of the paper — the Area-Preserving Allocation Simulator.
+§3.1 argues re-running jobs or learning generative models is too
+expensive; instead §3.2 / Algorithm 1 / Figures 5–8 take one observed
+skyline, split it into above/below-threshold sections, and stretch each
+above-threshold section so its area (token-seconds of work) is
+preserved at a lower allocation, yielding the simulated skyline and run
+time. `augmentation` applies this over a token grid to synthesise the
+multi-allocation training data TASQ's models need (§4.4), and
+`validation` reproduces the §5.2 accuracy studies (Figures 12–13,
+Table 3).
+"""
 
 from repro.arepas.augmentation import (
     AugmentedObservation,

@@ -1,4 +1,14 @@
-"""Prior-art baselines: Jockey/Amdahl simulators and AutoToken (§6.2-6.3)."""
+"""Prior-art baselines: Jockey/Amdahl simulators and AutoToken.
+
+Reproduces the related-work systems the paper compares against in §6:
+§6.2's AutoToken (peak-allocation prediction for recurring jobs only —
+no run-time/allocation trade-off curve) and §6.3's simulator lineage —
+a Jockey-style stage-level event simulator and an Amdahl's-law skyline
+scaler — plus §1's rejected "reuse the most recent skyline" alternative
+(`skyline_replay`). Benchmarks `test_ablation_autotoken`,
+`test_ablation_simulators`, and `test_ablation_skyline_replay` measure
+each against AREPAS/TASQ on the same synthetic workload.
+"""
 
 from repro.baselines.autotoken import AutoToken, AutoTokenPrediction
 from repro.baselines.simulators import AmdahlSkylineSimulator, StageLevelSimulator

@@ -11,7 +11,11 @@ Subcommands mirror the production workflow of Figure 4:
 * ``flight`` — re-execute a sample of jobs and validate AREPAS,
 * ``serve`` — run the in-process allocation server over a repository,
 * ``loadtest`` — drive the server with a generated workload and report
-  throughput, tail latency, cache hit rate, and shed rate.
+  throughput, tail latency, cache hit rate, and shed rate,
+* ``trace`` — run any of the above under the observability layer
+  (`repro.obs`): span tracing, the shared metrics registry, optional
+  cProfile / stack sampling; emits a Chrome-loadable trace JSON and a
+  human-readable report (see ``docs/observability.md``).
 
 Example session::
 
@@ -21,6 +25,7 @@ Example session::
     python -m repro whatif --repo history.npz --budget 0.05
     python -m repro serve --model nn.pkl --repo history.npz
     python -m repro loadtest --jobs 200 --workers 4
+    python -m repro trace loadtest --tiny
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import pickle
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.arepas import error_summary, simulation_errors
 from repro.flighting import FlightHarness, build_flighted_dataset
 from repro.models import TrainConfig, build_dataset
@@ -191,7 +197,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.batch,
         deadline_s=args.deadline,
     )
-    server = AllocationServer(pipeline, config, repository=repository)
+    server = AllocationServer(
+        pipeline,
+        config,
+        repository=repository,
+        metrics=obs.get_registry() if obs.enabled() else None,
+    )
     print(
         f"serving {len(records)} jobs through "
         f"{config.workers} workers (batch <= {config.max_batch_size}) ...",
@@ -248,6 +259,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.models.xgboost_models import XGBoostPL
 
+    if args.tiny:
+        # Smoke-test scale: small enough for CI, still exercises every
+        # instrumented layer (generator, executor, fitting, scoring,
+        # serving) when run under `python -m repro trace`.
+        args.jobs = min(args.jobs, 30)
+        args.requests = min(args.requests, 60)
+        args.workers = min(args.workers, 2)
+        args.clients = min(args.clients, 2)
+
     generator = WorkloadGenerator(seed=args.seed)
     jobs = generator.generate(args.jobs)
     print(
@@ -264,7 +284,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         breaker_recovery_s=1.0,
     )
     server = AllocationServer(
-        ScoringPipeline(model), config, repository=repository
+        ScoringPipeline(model),
+        config,
+        repository=repository,
+        metrics=obs.get_registry() if obs.enabled() else None,
     )
     loadgen = LoadGenerator(
         jobs,
@@ -297,6 +320,77 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run another subcommand under the observability layer."""
+    from repro.obs.profiling import SamplingProfiler, SpanProfiler
+    from repro.obs.reporting import (
+        folded_span_stacks,
+        render_report,
+        write_chrome_trace,
+    )
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print(
+            "trace: name a subcommand to instrument, e.g. "
+            "`python -m repro trace loadtest --tiny`",
+            file=sys.stderr,
+        )
+        return 2
+    if rest[0] == "trace":
+        print("trace: traced runs cannot nest", file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+
+    obs.reset_registry()
+    obs.trace.reset()
+    obs.enable(capacity=args.span_capacity)
+    profiler = SpanProfiler(top=args.profile_top) if args.profile else None
+    sampler = (
+        SamplingProfiler(interval_s=args.sample_interval)
+        if args.sample
+        else None
+    )
+    code = 0
+    try:
+        if sampler is not None:
+            sampler.start()
+        if profiler is not None:
+            with profiler.attach(None):
+                code = int(inner.func(inner))
+        else:
+            code = int(inner.func(inner))
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        obs.disable()
+
+    trace_path = write_chrome_trace(obs.trace, args.trace_out)
+    report = render_report(
+        obs.trace,
+        obs.get_registry(),
+        profile_text=profiler.cpu_report if profiler is not None else None,
+    )
+    print()
+    print(f"=== observability report · trace written to {trace_path} ===")
+    print(report)
+    if args.report_out is not None:
+        args.report_out.write_text(report + "\n")
+        print(f"(report also written to {args.report_out})")
+    if args.folded_out is not None:
+        lines = (
+            sampler.folded()
+            if sampler is not None
+            else folded_span_stacks(obs.trace)
+        )
+        args.folded_out.write_text("\n".join(lines) + "\n")
+        source = "sampled" if sampler is not None else "span-tree"
+        print(f"({source} folded stacks written to {args.folded_out})")
+    return code
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -308,7 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    generate = sub.add_parser("generate", help="generate + execute a workload")
+    generate = sub.add_parser(
+        "generate",
+        aliases=["simulate"],
+        help="generate + execute (simulate) a workload",
+    )
     generate.add_argument("--jobs", type=int, default=300)
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", type=Path, required=True)
@@ -382,7 +480,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrival-rate", type=float, default=None,
         help="open-loop arrival rate; default closed-loop clients",
     )
+    loadtest.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test scale (30 jobs / 60 requests); used by CI",
+    )
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    traced = sub.add_parser(
+        "trace",
+        help="run another subcommand under tracing/metrics/profiling",
+        description="Run any repro subcommand with the observability "
+        "layer enabled; writes a chrome://tracing JSON and prints a "
+        "span/metric report (docs/observability.md).",
+    )
+    traced.add_argument(
+        "--trace-out", type=Path, default=Path("trace.json"),
+        help="where to write the Chrome-loadable trace (default trace.json)",
+    )
+    traced.add_argument(
+        "--report-out", type=Path, default=None,
+        help="also write the printed report to this file",
+    )
+    traced.add_argument(
+        "--folded-out", type=Path, default=None,
+        help="write flamegraph-compatible folded stacks to this file",
+    )
+    traced.add_argument(
+        "--profile", action="store_true",
+        help="run the whole command under cProfile (deterministic)",
+    )
+    traced.add_argument("--profile-top", type=int, default=20)
+    traced.add_argument(
+        "--sample", action="store_true",
+        help="run the wall-clock sampling profiler alongside tracing",
+    )
+    traced.add_argument("--sample-interval", type=float, default=0.005)
+    traced.add_argument(
+        "--span-capacity", type=int, default=65536,
+        help="ring-buffer size for recorded spans",
+    )
+    traced.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="the subcommand (and its flags) to run instrumented",
+    )
+    traced.set_defaults(func=_cmd_trace)
 
     return parser
 

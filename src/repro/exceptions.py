@@ -59,3 +59,7 @@ class PipelineError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the allocation-serving layer (server, caches, admission)."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the observability layer (tracing, metrics, profiling)."""

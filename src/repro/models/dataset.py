@@ -26,6 +26,7 @@ from repro.arepas.simulator import AREPAS
 from repro.exceptions import ModelError
 from repro.features.graph_features import GraphSample, plan_to_graph_sample
 from repro.features.job_features import job_vector
+from repro.obs import trace
 from repro.pcc.curve import PowerLawPCC
 from repro.pcc.fitting import fit_from_skyline
 from repro.scope.repository import JobRepository, TelemetryRecord
@@ -127,6 +128,14 @@ def build_dataset(
         if isinstance(repository, JobRepository)
         else list(repository)
     )
+    with trace.span("models.build_dataset", records=len(records)):
+        dataset = _build_examples(records, grid_points, simulator)
+    return dataset
+
+
+def _build_examples(
+    records: list[TelemetryRecord], grid_points: int, simulator: AREPAS
+) -> PCCDataset:
     dataset = PCCDataset()
     for record in records:
         if record.requested_tokens < 2:

@@ -1,0 +1,202 @@
+"""Opt-in profiling hooks: cProfile / tracemalloc per span, stack sampling.
+
+Tracing (where does wall-clock time go between *named* spans) answers a
+different question than profiling (which *functions* burn it). This
+module bridges the two without making profiling a steady-state cost:
+
+* :class:`SpanProfiler` — attach deterministic cProfile and/or
+  tracemalloc capture to any code region, typically zipped with a span
+  (``with trace.span("fit") as s, SpanProfiler().attach(s): ...``); the
+  top functions / allocation sites are stored on the span's attributes
+  (visible in the Chrome trace's ``args``) and retrievable as text;
+* :class:`SamplingProfiler` — a wall-clock sampling profiler that
+  periodically snapshots every thread's Python stack via
+  :func:`sys._current_frames`, aggregating *folded* stacks compatible
+  with flamegraph tooling (``a;b;c 42``). Sampling observes code that
+  was never instrumented with spans — e.g. the simulator's event loop —
+  at a few percent overhead instead of cProfile's 2-5x.
+
+Everything here is opt-in: nothing starts unless explicitly constructed,
+so the default (observability off) execution path is untouched.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import contextlib
+import pstats
+import sys
+import threading
+import time
+import tracemalloc
+from io import StringIO
+
+from repro.exceptions import ObservabilityError
+
+__all__ = ["SpanProfiler", "SamplingProfiler"]
+
+
+class SpanProfiler:
+    """Deterministic CPU and/or memory profiling for one code region.
+
+    Parameters
+    ----------
+    cpu:
+        Run cProfile over the region and keep the ``top`` functions by
+        cumulative time.
+    memory:
+        Run tracemalloc over the region and keep the ``top`` allocation
+        sites by size delta. (Starts/stops tracemalloc if it was not
+        already tracing.)
+    top:
+        How many rows of each report to retain.
+    """
+
+    def __init__(self, cpu: bool = True, memory: bool = False, top: int = 12):
+        if not cpu and not memory:
+            raise ObservabilityError("profiler needs cpu and/or memory enabled")
+        if top < 1:
+            raise ObservabilityError("top must be at least 1")
+        self.cpu = cpu
+        self.memory = memory
+        self.top = top
+        self.cpu_report: str | None = None
+        self.memory_report: str | None = None
+
+    @contextlib.contextmanager
+    def attach(self, span=None):
+        """Profile the enclosed region; annotate ``span`` with results.
+
+        ``span`` may be a live :class:`~repro.obs.tracing.Span`, the
+        disabled-mode null span, or None — anything with a ``set``
+        method gets ``profile_cpu`` / ``profile_memory`` attributes.
+        """
+        profiler = cProfile.Profile() if self.cpu else None
+        started_tracemalloc = False
+        baseline = None
+        if self.memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                started_tracemalloc = True
+            baseline = tracemalloc.take_snapshot()
+        if profiler is not None:
+            profiler.enable()
+        try:
+            yield self
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                self.cpu_report = self._render_cpu(profiler)
+            if self.memory:
+                after = tracemalloc.take_snapshot()
+                self.memory_report = self._render_memory(baseline, after)
+                if started_tracemalloc:
+                    tracemalloc.stop()
+            if span is not None:
+                if self.cpu_report is not None:
+                    span.set("profile_cpu", self.cpu_report)
+                if self.memory_report is not None:
+                    span.set("profile_memory", self.memory_report)
+
+    def _render_cpu(self, profiler: cProfile.Profile) -> str:
+        buffer = StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(self.top)
+        return buffer.getvalue()
+
+    def _render_memory(self, baseline, after) -> str:
+        diff = after.compare_to(baseline, "lineno")
+        lines = [
+            f"{entry.size_diff / 1024.0:+9.1f} KiB  {entry.traceback}"
+            for entry in diff[: self.top]
+        ]
+        return "\n".join(lines) if lines else "(no allocation delta)"
+
+
+class SamplingProfiler:
+    """Wall-clock stack sampler producing flamegraph-ready folded stacks.
+
+    A daemon thread wakes every ``interval_s`` seconds and records the
+    current Python stack of every other thread. Stacks are folded into
+    ``outer;inner;leaf`` strings with sample counts — feed
+    :meth:`folded` to ``flamegraph.pl`` or speedscope.
+    """
+
+    def __init__(self, interval_s: float = 0.005) -> None:
+        if interval_s <= 0:
+            raise ObservabilityError("sampling interval must be positive")
+        self.interval_s = interval_s
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise ObservabilityError("sampler is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample(own)
+
+    def _sample(self, own_ident: int) -> None:
+        frames = sys._current_frames()
+        with self._lock:
+            self._samples += 1
+            for ident, frame in frames.items():
+                if ident == own_ident:
+                    continue
+                stack: list[str] = []
+                while frame is not None:
+                    code = frame.f_code
+                    stack.append(f"{code.co_name} ({code.co_filename.rsplit('/', 1)[-1]})")
+                    frame = frame.f_back
+                if not stack:
+                    continue
+                key = ";".join(reversed(stack))
+                self._counts[key] = self._counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def folded(self) -> list[str]:
+        """Folded stack lines (``frame;frame;frame count``), hottest first."""
+        with self._lock:
+            items = sorted(
+                self._counts.items(), key=lambda kv: kv[1], reverse=True
+            )
+        return [f"{stack} {count}" for stack, count in items]
+
+    def run(self, fn, *args, **kwargs):
+        """Convenience: sample for the duration of one call."""
+        with self:
+            started = time.perf_counter()
+            result = fn(*args, **kwargs)
+            _ = time.perf_counter() - started
+        return result

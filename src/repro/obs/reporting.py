@@ -1,0 +1,178 @@
+"""Human-readable reports and file exports for traced runs.
+
+The reporting half of the observability layer: given a
+:class:`~repro.obs.tracing.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`, produce
+
+* :func:`render_report` — the terminal report ``python -m repro trace``
+  prints: top span sites by cumulative and self time, a metrics
+  snapshot (counters, gauges, histogram quantiles), and optional
+  profiler output;
+* :func:`write_chrome_trace` — the ``chrome://tracing`` / Perfetto JSON
+  export (open via ``chrome://tracing`` -> Load, or https://ui.perfetto.dev);
+* :func:`folded_span_stacks` — span-tree paths folded into
+  flamegraph-compatible lines (``parent;child;leaf microseconds``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "render_report",
+    "span_table_rows",
+    "write_chrome_trace",
+    "folded_span_stacks",
+]
+
+
+def span_table_rows(
+    tracer: Tracer, sort_by: str = "total_s", top: int | None = None
+) -> list[tuple[str, dict]]:
+    """Per-span-name aggregate rows, sorted descending by ``sort_by``."""
+    table = tracer.latency_table()
+    rows = sorted(table.items(), key=lambda kv: kv[1][sort_by], reverse=True)
+    return rows[:top] if top is not None else rows
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:9.3f} s "
+    if value >= 1e-3:
+        return f"{value * 1e3:9.3f} ms"
+    return f"{value * 1e6:9.1f} µs"
+
+
+def render_report(
+    tracer: Tracer,
+    registry: MetricsRegistry | None = None,
+    *,
+    top: int = 20,
+    profile_text: str | None = None,
+) -> str:
+    """The full human-readable observability report for one run."""
+    lines: list[str] = []
+    rows = span_table_rows(tracer, top=top)
+    spans = tracer.spans()
+    lines.append("== spans ==")
+    if not rows:
+        lines.append("(no spans recorded — was tracing enabled?)")
+    else:
+        distinct = len(tracer.latency_table())
+        lines.append(
+            f"{len(spans)} spans from {distinct} instrumented sites"
+            + (f" ({tracer.dropped} dropped by ring buffer)"
+               if tracer.dropped else "")
+        )
+        header = (
+            f"{'span':<28} {'count':>7} {'total':>12} {'self':>12} "
+            f"{'mean':>12} {'max':>12}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, row in rows:
+            label = name + (" [sim]" if row.get("virtual") else "")
+            lines.append(
+                f"{label:<28} {row['count']:>7} "
+                f"{_fmt_seconds(row['total_s'])} "
+                f"{_fmt_seconds(row['self_s'])} "
+                f"{_fmt_seconds(row['mean_s'])} "
+                f"{_fmt_seconds(row['max_s'])}"
+            )
+
+    if registry is not None:
+        snapshot = registry.snapshot()
+        counters = {k: v for k, v in snapshot["counters"].items() if v}
+        if counters:
+            lines.append("")
+            lines.append("== counters ==")
+            width = max(len(k) for k in counters)
+            for name in sorted(counters):
+                lines.append(f"{name:<{width}}  {counters[name]:,}")
+        gauges = snapshot["gauges"]
+        if gauges:
+            lines.append("")
+            lines.append("== gauges ==")
+            width = max(len(k) for k in gauges)
+            for name in sorted(gauges):
+                lines.append(f"{name:<{width}}  {gauges[name]}")
+        histograms = snapshot["histograms"]
+        if histograms:
+            lines.append("")
+            lines.append("== histograms ==")
+            header = (
+                f"{'histogram':<28} {'count':>7} {'mean':>12} "
+                f"{'p50':>12} {'p95':>12} {'p99':>12}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for name in sorted(histograms):
+                h = histograms[name]
+                if not h["count"]:
+                    continue
+                # Histograms named *_s hold seconds; render others
+                # (e.g. batch_size) as plain numbers.
+                fmt = (
+                    _fmt_seconds
+                    if name.split("{", 1)[0].endswith("_s")
+                    else (lambda v: f"{v:12.2f}")
+                )
+                lines.append(
+                    f"{name:<28} {h['count']:>7} "
+                    f"{fmt(h['mean'])} {fmt(h['p50'])} "
+                    f"{fmt(h['p95'])} {fmt(h['p99'])}"
+                )
+
+    if profile_text:
+        lines.append("")
+        lines.append("== profile ==")
+        lines.append(profile_text.rstrip())
+
+    return "\n".join(lines)
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Serialize the tracer's buffer as Chrome-loadable trace JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(tracer.chrome_trace()))
+    return path
+
+
+def folded_span_stacks(tracer: Tracer) -> list[str]:
+    """Span trees folded for flamegraph tooling, weighted by self µs.
+
+    Each line is the span-name path from the root span to one span,
+    weighted by that span's *self* time in integer microseconds (so a
+    flamegraph of the output reproduces the cumulative times exactly).
+    Virtual-time (simulator) spans are prefixed with their track.
+    """
+    spans = {s.span_id: s for s in tracer.spans() if s.end_s is not None}
+    child_time: dict[int, float] = {}
+    for span in spans.values():
+        if span.parent_id in spans:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration_s
+            )
+    totals: dict[str, int] = {}
+    for span in spans.values():
+        path = [span.name]
+        cursor = span
+        while cursor.parent_id in spans:
+            cursor = spans[cursor.parent_id]
+            path.append(cursor.name)
+        if span.virtual:
+            path.append("simulated-time")
+        key = ";".join(reversed(path))
+        self_us = int(
+            max(0.0, span.duration_s - child_time.get(span.span_id, 0.0)) * 1e6
+        )
+        if self_us:
+            totals[key] = totals.get(key, 0) + self_us
+    return [
+        f"{path} {weight}"
+        for path, weight in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]

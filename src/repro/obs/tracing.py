@@ -1,0 +1,353 @@
+"""Hierarchical in-process tracing spans.
+
+The observability layer's tracing half: code brackets interesting work in
+named *spans* (``with trace.span("fit_pcc", job=job_id):``), and a
+:class:`Tracer` records each finished span — name, wall-clock interval,
+thread, parent span, free-form attributes — into a thread-safe ring
+buffer. Three properties shape the design:
+
+* **disabled by default, ~free when disabled** — :meth:`Tracer.span`
+  returns a shared no-op context until :meth:`Tracer.enable` is called,
+  so permanently instrumented hot paths (the simulator's executor, the
+  serving worker loop, PCC fitting) cost one attribute check per call in
+  production mode;
+* **bounded memory** — finished spans land in a ring buffer (default
+  65,536 spans); long traced runs keep the most recent window instead of
+  growing without bound;
+* **export-friendly** — the buffer converts to Chrome's
+  ``chrome://tracing`` / Perfetto JSON (:meth:`Tracer.chrome_trace`) and
+  to a flat per-span-name latency table (:meth:`Tracer.latency_table`)
+  with cumulative and *self* time (cumulative minus direct children).
+
+Spans may also be recorded retroactively with explicit timestamps
+(:meth:`Tracer.record_span`), including *virtual-time* spans: the
+discrete-event cluster executor runs in simulated seconds, so its
+per-stage spans are exported on a separate Chrome process track rather
+than being interleaved with wall-clock spans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import ObservabilityError
+
+__all__ = ["Span", "Tracer", "trace"]
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced operation."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    thread_name: str
+    start_s: float
+    end_s: float | None = None
+    #: Virtual-time spans carry simulated timestamps (e.g. simulator
+    #: seconds), not wall-clock ones; exports keep them on their own track.
+    virtual: bool = False
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return max(0.0, self.end_s - self.start_s)
+
+    def set(self, key: str, value) -> None:
+        """Attach/overwrite one attribute on the span."""
+        self.attrs[key] = value
+
+
+class _NullSpan:
+    """The disabled-mode stand-in: a no-op context manager and span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:  # pragma: no cover - trivial
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and records it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        stack = self._tracer._stack()
+        self._span.parent_id = stack[-1].span_id if stack else None
+        self._span.start_s = time.perf_counter()
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end_s = time.perf_counter()
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - misuse guard (out-of-order exit)
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        self._tracer._record(span)
+        return False
+
+
+class Tracer:
+    """Thread-safe span collector with a bounded ring buffer.
+
+    One process-wide instance (:data:`trace`) is shared by every
+    instrumented module; tests construct private tracers. The tracer
+    starts disabled: until :meth:`enable` is called, :meth:`span` hands
+    back a shared no-op context and nothing is recorded.
+    """
+
+    def __init__(self, capacity: int = 65536, enabled: bool = False) -> None:
+        if capacity < 1:
+            raise ObservabilityError("tracer capacity must be at least 1")
+        self._buffer: deque[Span] = deque(maxlen=capacity)
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._enabled = enabled
+
+    # ------------------------------------------------------------------
+    # switches
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self, capacity: int | None = None) -> None:
+        """Start recording spans (optionally resizing the ring buffer)."""
+        if capacity is not None:
+            if capacity < 1:
+                raise ObservabilityError("tracer capacity must be at least 1")
+            with self._lock:
+                self._buffer = deque(self._buffer, maxlen=capacity)
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; already-captured spans stay readable."""
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded span (the buffer capacity is kept)."""
+        with self._lock:
+            self._buffer.clear()
+            self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Context manager bracketing one operation.
+
+        Yields the live :class:`Span` (so callers can ``span.set(...)``
+        further attributes) when enabled, or a no-op stand-in when not.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        current = threading.current_thread()
+        return _SpanContext(
+            self,
+            Span(
+                name=name,
+                span_id=next(_ids),
+                parent_id=None,
+                thread_id=current.ident or 0,
+                thread_name=current.name,
+                start_s=0.0,
+                attrs=dict(attrs) if attrs else {},
+            ),
+        )
+
+    def record_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        *,
+        virtual: bool = False,
+        parent_id: int | None = None,
+        **attrs,
+    ) -> Span | None:
+        """Record an already-timed span (e.g. simulated-time intervals).
+
+        ``virtual=True`` marks the timestamps as simulated rather than
+        wall-clock; exports place those spans on a separate track. No-op
+        (returning None) while the tracer is disabled.
+        """
+        if not self._enabled:
+            return None
+        if end_s < start_s:
+            raise ObservabilityError("span must end at or after its start")
+        current = threading.current_thread()
+        if parent_id is None and not virtual:
+            stack = self._stack()
+            parent_id = stack[-1].span_id if stack else None
+        span = Span(
+            name=name,
+            span_id=next(_ids),
+            parent_id=parent_id,
+            thread_id=current.ident or 0,
+            thread_name=current.name,
+            start_s=start_s,
+            end_s=end_s,
+            virtual=virtual,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._record(span)
+        return span
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._buffer) == self._buffer.maxlen:
+                self._dropped += 1
+            self._buffer.append(span)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Snapshot of the ring buffer, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by ring-buffer overflow since the last reset."""
+        with self._lock:
+            return self._dropped
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on *this* thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> dict:
+        """The buffer as a ``chrome://tracing`` / Perfetto JSON object.
+
+        Wall-clock spans land on the real process (one row per thread);
+        virtual-time spans (simulator stages) land on a synthetic
+        ``simulated-time`` process so the two timebases never interleave.
+        """
+        pid = os.getpid()
+        virtual_pid = pid + 1
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro (wall clock)"},
+            },
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": virtual_pid,
+                "tid": 0,
+                "args": {"name": "repro (simulated time)"},
+            },
+        ]
+        for span in self.spans():
+            if span.end_s is None:  # pragma: no cover - open spans skipped
+                continue
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "X",
+                    "pid": virtual_pid if span.virtual else pid,
+                    "tid": span.thread_id,
+                    "ts": span.start_s * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def latency_table(self) -> dict[str, dict[str, float | int]]:
+        """Aggregate spans by name: count, total/self/mean/max seconds.
+
+        Self time subtracts the durations of *direct* children still in
+        the buffer, so for nested instrumentation the table answers
+        "where is time actually spent" rather than double-counting.
+        """
+        spans = [s for s in self.spans() if s.end_s is not None]
+        child_time: dict[int, float] = {}
+        for span in spans:
+            if span.parent_id is not None:
+                child_time[span.parent_id] = (
+                    child_time.get(span.parent_id, 0.0) + span.duration_s
+                )
+        table: dict[str, dict[str, float | int]] = {}
+        for span in spans:
+            row = table.setdefault(
+                span.name,
+                {
+                    "count": 0,
+                    "total_s": 0.0,
+                    "self_s": 0.0,
+                    "max_s": 0.0,
+                    "virtual": span.virtual,
+                },
+            )
+            duration = span.duration_s
+            row["count"] += 1
+            row["total_s"] += duration
+            row["self_s"] += max(
+                0.0, duration - child_time.get(span.span_id, 0.0)
+            )
+            row["max_s"] = max(row["max_s"], duration)
+        for row in table.values():
+            row["mean_s"] = row["total_s"] / row["count"]
+        return table
+
+
+def _jsonable(value):
+    """Coerce span attribute values into JSON-safe primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+#: The process-wide tracer every instrumented module records into.
+trace = Tracer()

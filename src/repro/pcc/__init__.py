@@ -1,4 +1,13 @@
-"""Performance characteristic curves: representation, fitting, decisions."""
+"""Performance characteristic curves: representation, fitting, decisions.
+
+Reproduces the PCC core of the paper: §2 / Figure 3 (run time as a
+monotonically non-increasing function of allocated tokens, its elbow,
+and the optimal allocation chosen by a marginal-improvement threshold),
+§4.1 / Figure 9 (the power-law form ``runtime = b * tokens**a`` with
+``a <= 0``, fitted by least squares in log-log space), and §2.3's
+observation that the curve family is platform-specific
+(`repro.pcc.families` adds Amdahl and shifted-power-law alternatives).
+"""
 
 from repro.pcc.curve import PowerLawPCC
 from repro.pcc.families import (

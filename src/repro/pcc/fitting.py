@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.arepas.augmentation import AugmentedObservation
 from repro.exceptions import FittingError
+from repro.obs import get_registry, trace
 from repro.pcc.curve import PowerLawPCC
 
 __all__ = ["fit_power_law", "fit_observations", "fit_from_skyline", "fit_quality"]
@@ -67,6 +68,8 @@ def fit_power_law(
     cov_xy = (w * (x - x_mean) * (y - y_mean)).sum()
     a = cov_xy / var_x
     log_b = y_mean - a * x_mean
+    if trace.enabled:
+        get_registry().counter("pcc_power_law_fits").increment()
     return PowerLawPCC.from_log_parameters(a, log_b)
 
 
@@ -104,10 +107,12 @@ def fit_from_skyline(
 
     if grid is None:
         grid = default_token_grid(reference_tokens)
-    observations = sweep_token_grid(
-        skyline, grid, observed_tokens=reference_tokens
-    )
-    return fit_observations(observations)
+    with trace.span("pcc.fit_from_skyline") as span:
+        observations = sweep_token_grid(
+            skyline, grid, observed_tokens=reference_tokens
+        )
+        span.set("points", len(observations))
+        return fit_observations(observations)
 
 
 def fit_quality(

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ExecutionError
+from repro.obs import get_registry, trace
 from repro.scope.stages import CostModel, StageGraph
 from repro.skyline.skyline import Skyline
 
@@ -121,7 +122,20 @@ class ClusterExecutor:
         )
         if noisy and rng is None:
             raise ExecutionError("an rng is required when noise is enabled")
+        with trace.span(
+            "scope.execute_job", job=graph.job_id, tokens=tokens
+        ) as span:
+            result = self._execute(graph, tokens, rng)
+            span.set("makespan_s", round(result.makespan, 3))
+            span.set("stages", len(graph.stages))
+        return result
 
+    def _execute(
+        self,
+        graph: StageGraph,
+        tokens: int,
+        rng: np.random.Generator | None,
+    ) -> ExecutionResult:
         durations = self._draw_durations(graph, rng)
 
         pending_deps = {
@@ -150,6 +164,7 @@ class ClusterExecutor:
         intervals_start: list[float] = []
         intervals_end: list[float] = []
         stage_finish: dict[int, float] = {}
+        stage_start: dict[int, float] = {}
 
         def start_tasks() -> None:
             nonlocal free_tokens, sequence
@@ -157,6 +172,8 @@ class ClusterExecutor:
                 sid = ready[0]
                 index = next_task_index[sid]
                 duration = durations[sid][index]
+                if index == 0:
+                    stage_start[sid] = clock
                 next_task_index[sid] += 1
                 if next_task_index[sid] == graph.stages[sid].num_tasks:
                     ready.popleft()
@@ -184,6 +201,26 @@ class ClusterExecutor:
             start_tasks()
 
         makespan = clock
+        if trace.enabled:
+            # Per-stage spans live on the simulated-time track (the
+            # executor's clock is virtual seconds, not wall time), and
+            # event/task totals go to the process-wide registry.
+            for sid, finish in stage_finish.items():
+                trace.record_span(
+                    "scope.stage",
+                    stage_start.get(sid, 0.0),
+                    finish,
+                    virtual=True,
+                    job=graph.job_id,
+                    stage=sid,
+                    tasks=graph.stages[sid].num_tasks,
+                )
+            registry = get_registry()
+            registry.counter("scope_jobs_executed").increment()
+            registry.counter("scope_events_processed").increment(sequence)
+            registry.counter("scope_stages_completed").increment(
+                len(stage_finish)
+            )
         skyline = _intervals_to_skyline(
             np.asarray(intervals_start), np.asarray(intervals_end), makespan
         )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import PlanError
+from repro.obs import get_registry, trace
 from repro.scope.operators import PartitioningMethod
 from repro.scope.plan import OperatorNode, QueryPlan
 
@@ -155,11 +156,16 @@ class WorkloadGenerator:
         """
         if num_jobs < 1:
             raise PlanError("num_jobs must be positive")
-        jobs = []
-        num_days = max(1, num_jobs // 1000)
-        for i in range(num_jobs):
-            day = start_day + (i * num_days) // num_jobs
-            jobs.append(self.generate_job(day))
+        with trace.span("scope.generate_workload", jobs=num_jobs):
+            jobs = []
+            num_days = max(1, num_jobs // 1000)
+            for i in range(num_jobs):
+                day = start_day + (i * num_days) // num_jobs
+                jobs.append(self.generate_job(day))
+            if trace.enabled:
+                get_registry().counter("scope_jobs_generated").increment(
+                    num_jobs
+                )
         return jobs
 
     def generate_job(self, submit_day: int = 0) -> JobInstance:

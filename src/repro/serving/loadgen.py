@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ServingError
+from repro.obs import trace
 from repro.scope.generator import JobInstance
 from repro.serving.server import AllocationServer, ResponseStatus, ServeFuture
 
@@ -132,12 +133,16 @@ class LoadGenerator:
         """Issue the schedule against ``server`` and summarise the answers."""
         schedule = self.schedule()
         responses: list = [None] * len(schedule)
-        started = time.perf_counter()
-        if self.config.arrival_rate is None:
-            self._run_closed_loop(server, schedule, responses)
-        else:
-            self._run_open_loop(server, schedule, responses)
-        duration = max(time.perf_counter() - started, 1e-9)
+        mode = "open" if self.config.arrival_rate is not None else "closed"
+        with trace.span(
+            "serving.loadgen_pass", requests=len(schedule), mode=mode
+        ):
+            started = time.perf_counter()
+            if self.config.arrival_rate is None:
+                self._run_closed_loop(server, schedule, responses)
+            else:
+                self._run_open_loop(server, schedule, responses)
+            duration = max(time.perf_counter() - started, 1e-9)
         return self._report(responses, duration)
 
     def _run_closed_loop(

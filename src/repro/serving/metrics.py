@@ -1,189 +1,21 @@
-"""Serving metrics: counters, gauges, and streaming latency histograms.
+"""Compatibility shim: serving metrics now live in :mod:`repro.obs.metrics`.
 
-A deliberately small, dependency-free stand-in for a Prometheus client:
-the :class:`AllocationServer` and :class:`~repro.serving.loadgen`
-load generator record into a shared :class:`MetricsRegistry`, and
-callers pull structured :meth:`~MetricsRegistry.snapshot` dictionaries
-out of it (for reports, tests, or the CLI).
+The serving layer's original private ``MetricsRegistry`` was promoted
+into the process-wide observability subsystem so the simulator, the
+training pipeline, and serving share one metric vocabulary (counters,
+callback gauges, log-bucketed latency histograms, labels). Existing
+imports — ``from repro.serving.metrics import MetricsRegistry`` and the
+re-exports on ``repro.serving`` — keep working through this module.
 
-Latency distributions use fixed log-spaced buckets, so recording is
-O(log buckets) with constant memory regardless of traffic volume, and
-quantiles (p50/p95/p99) are estimated by interpolating within the
-bucket that crosses the target rank — the same trade-off a production
-histogram makes.
+Each :class:`~repro.serving.server.AllocationServer` still constructs a
+private registry by default (its gauges and lifetime hit rates are
+per-instance); pass ``metrics=repro.obs.get_registry()`` to record into
+the shared process-wide registry instead, which is what the
+``python -m repro trace`` CLI does.
 """
 
 from __future__ import annotations
 
-import bisect
-import math
-import threading
-from collections.abc import Callable, Iterable
-
-from repro.exceptions import ServingError
+from repro.obs.metrics import Counter, LatencyHistogram, MetricsRegistry
 
 __all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
-
-
-class Counter:
-    """A monotonically increasing, thread-safe counter."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def increment(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ServingError("counters only move forward")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-def _default_bounds() -> list[float]:
-    """Log-spaced bucket upper bounds from 10 microseconds to ~100 s."""
-    bounds = []
-    edge = 1e-5
-    while edge <= 100.0:
-        bounds.append(edge)
-        edge *= 1.25
-    return bounds
-
-
-class LatencyHistogram:
-    """Streaming histogram with interpolated quantile estimates.
-
-    Values are clamped into ``[bounds[0], +inf)``; anything beyond the
-    last bound lands in an overflow bucket whose quantile estimate is
-    the observed maximum.
-    """
-
-    def __init__(self, name: str, bounds: Iterable[float] | None = None) -> None:
-        self.name = name
-        self._bounds = sorted(bounds) if bounds is not None else _default_bounds()
-        if not self._bounds:
-            raise ServingError("histogram needs at least one bucket bound")
-        self._counts = [0] * (len(self._bounds) + 1)  # +1 = overflow
-        self._count = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = -math.inf
-        self._lock = threading.Lock()
-
-    def record(self, value: float) -> None:
-        if value < 0 or not math.isfinite(value):
-            raise ServingError("latency observations must be finite and >= 0")
-        index = bisect.bisect_left(self._bounds, value)
-        with self._lock:
-            self._counts[index] += 1
-            self._count += 1
-            self._sum += value
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-
-    # ------------------------------------------------------------------
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    @property
-    def mean(self) -> float | None:
-        with self._lock:
-            return self._sum / self._count if self._count else None
-
-    def quantile(self, q: float) -> float | None:
-        """Estimated ``q``-quantile (``0 < q <= 1``), None when empty."""
-        if not 0.0 < q <= 1.0:
-            raise ServingError("quantile must be in (0, 1]")
-        with self._lock:
-            if not self._count:
-                return None
-            rank = q * self._count
-            cumulative = 0
-            for index, bucket_count in enumerate(self._counts):
-                if not bucket_count:
-                    continue
-                previous = cumulative
-                cumulative += bucket_count
-                if cumulative >= rank:
-                    if index >= len(self._bounds):
-                        return self._max
-                    upper = self._bounds[index]
-                    lower = self._bounds[index - 1] if index else 0.0
-                    fraction = (rank - previous) / bucket_count
-                    estimate = lower + fraction * (upper - lower)
-                    return min(max(estimate, self._min), self._max)
-            return self._max
-
-    def snapshot(self) -> dict[str, float | int | None]:
-        p50, p95, p99 = (self.quantile(q) for q in (0.50, 0.95, 0.99))
-        with self._lock:
-            count, total = self._count, self._sum
-            minimum = self._min if count else None
-            maximum = self._max if count else None
-        return {
-            "count": count,
-            "sum": total,
-            "mean": total / count if count else None,
-            "min": minimum,
-            "max": maximum,
-            "p50": p50,
-            "p95": p95,
-            "p99": p99,
-        }
-
-
-class MetricsRegistry:
-    """Named counters, histograms, and callback gauges behind one lock.
-
-    ``counter``/``histogram`` create on first use so call sites don't
-    need a central declaration list; ``register_gauge`` takes a callable
-    evaluated lazily at snapshot time (used e.g. to surface queue depth,
-    circuit-breaker state, and the :class:`PredictionMonitor`'s rolling
-    error without polling threads).
-    """
-
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
-        self._gauges: dict[str, Callable[[], float | int | bool | None]] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
-
-    def histogram(
-        self, name: str, bounds: Iterable[float] | None = None
-    ) -> LatencyHistogram:
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = LatencyHistogram(name, bounds)
-            return self._histograms[name]
-
-    def register_gauge(
-        self, name: str, read: Callable[[], float | int | bool | None]
-    ) -> None:
-        with self._lock:
-            self._gauges[name] = read
-
-    # ------------------------------------------------------------------
-    def snapshot(self) -> dict[str, dict]:
-        """A structured, point-in-time view of every metric."""
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
-            gauges = dict(self._gauges)
-        return {
-            "counters": {name: c.value for name, c in counters.items()},
-            "histograms": {name: h.snapshot() for name, h in histograms.items()},
-            "gauges": {name: read() for name, read in gauges.items()},
-        }

@@ -48,6 +48,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.exceptions import ReproError, ServingError
+from repro.obs import trace
 from repro.scope.plan import QueryPlan
 from repro.scope.repository import JobRepository
 from repro.scope.signatures import plan_signature
@@ -415,6 +416,10 @@ class AllocationServer:
             self._process_batch(batch)
 
     def _process_batch(self, batch: list[_Pending]) -> None:
+        with trace.span("serving.process_batch", batch=len(batch)):
+            self._process_batch_inner(batch)
+
+    def _process_batch_inner(self, batch: list[_Pending]) -> None:
         self.metrics.counter("batches").increment()
         self.metrics.histogram(
             "batch_size", bounds=range(1, self.config.max_batch_size + 1)
@@ -442,12 +447,14 @@ class AllocationServer:
             return
 
         features = [self.feature_cache.features_for(p.plan) for p in live]
+        scoring_started = self._clock()
         try:
-            recommendations = self._pipeline.score_batch(
-                [p.plan for p in live],
-                [p.requested_tokens for p in live],
-                features,
-            )
+            with trace.span("serving.score_batch", batch=len(live)):
+                recommendations = self._pipeline.score_batch(
+                    [p.plan for p in live],
+                    [p.requested_tokens for p in live],
+                    features,
+                )
         except ReproError:
             if len(live) == 1:
                 self.breaker.record_failure()
@@ -460,6 +467,12 @@ class AllocationServer:
                 # retrying each request alone.
                 self._retry_individually(live, features)
             return
+        # The latency_s histogram measures submit -> answer end to end;
+        # scoring_s isolates the model's share so queue wait (queue_wait_s)
+        # vs scoring time can be read off one snapshot.
+        self.metrics.histogram("scoring_s").record(
+            max(0.0, self._clock() - scoring_started)
+        )
         self.breaker.record_success()
         for pending, recommendation in zip(live, recommendations):
             self._succeed(pending, recommendation)

@@ -1,4 +1,14 @@
-"""Skyline data structures, sectioning, and allocation policies."""
+"""Skyline data structures, sectioning, and allocation policies.
+
+Reproduces the skyline half of the paper's motivation and simulator
+input: §1 / Figure 1 (per-second token-usage skylines and the Default,
+Peak, and Adaptive-Peak allocation policies whose over-allocation gap
+motivates TASQ) and §3.2 / Figure 5 (splitting a skyline into
+contiguous sections above/below the allocation threshold, plus the
+utilization bands used to characterise peaky vs flat jobs). The
+sections computed here are the unit AREPAS (`repro.arepas`) stretches
+when simulating a lower allocation.
+"""
 
 from repro.skyline.policies import (
     AdaptivePeakAllocation,

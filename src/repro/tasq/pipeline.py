@@ -29,6 +29,7 @@ from repro.models.gnn_model import GNNPCCModel
 from repro.models.nn_model import NNPCCModel
 from repro.models.training import TrainConfig
 from repro.models.xgboost_models import XGBoostPL, XGBoostSS
+from repro.obs import get_registry, trace
 from repro.pcc.curve import PowerLawPCC
 from repro.pcc.optimal import optimal_tokens, tokens_for_slowdown
 from repro.scope.plan import QueryPlan
@@ -91,22 +92,31 @@ class TrainingPipeline:
     def run(self, repository: JobRepository) -> TrainedModels:
         """Train every configured model on the repository's telemetry."""
         config = self.config
-        dataset = build_dataset(repository)
-        models: dict[str, PCCPredictor] = {}
+        with trace.span("tasq.train_pipeline", jobs=len(repository)):
+            dataset = build_dataset(repository)
+            models: dict[str, PCCPredictor] = {}
 
-        if config.train_xgboost:
-            models["xgboost_ss"] = XGBoostSS(seed=config.seed).fit(dataset)
-            models["xgboost_pl"] = XGBoostPL(seed=config.seed).fit(dataset)
-        if config.train_nn:
-            models["nn"] = NNPCCModel(
-                train_config=config.nn_train_config, seed=config.seed
-            ).fit(dataset)
-        if config.train_gnn:
-            models["gnn"] = GNNPCCModel(
-                train_config=config.gnn_train_config, seed=config.seed
-            ).fit(dataset)
-        if not models:
-            raise PipelineError("configuration enables no models")
+            if config.train_xgboost:
+                with trace.span("tasq.fit", model="xgboost_ss"):
+                    models["xgboost_ss"] = XGBoostSS(seed=config.seed).fit(
+                        dataset
+                    )
+                with trace.span("tasq.fit", model="xgboost_pl"):
+                    models["xgboost_pl"] = XGBoostPL(seed=config.seed).fit(
+                        dataset
+                    )
+            if config.train_nn:
+                with trace.span("tasq.fit", model="nn"):
+                    models["nn"] = NNPCCModel(
+                        train_config=config.nn_train_config, seed=config.seed
+                    ).fit(dataset)
+            if config.train_gnn:
+                with trace.span("tasq.fit", model="gnn"):
+                    models["gnn"] = GNNPCCModel(
+                        train_config=config.gnn_train_config, seed=config.seed
+                    ).fit(dataset)
+            if not models:
+                raise PipelineError("configuration enables no models")
 
         for name, model in models.items():
             self.store.register(
@@ -164,11 +174,15 @@ def featurize(
     and the graph sample (GNN input) from the same matrix — previously
     each representation recomputed the matrix independently.
     """
-    matrix = plan_feature_matrix(plan, schema)
-    return PlanFeatures(
-        job_vector=job_vector_from_matrix(matrix, plan, schema),
-        graph=graph_sample_from_matrix(matrix, plan),
-    )
+    with trace.span("tasq.featurize", job=plan.job_id):
+        matrix = plan_feature_matrix(plan, schema)
+        features = PlanFeatures(
+            job_vector=job_vector_from_matrix(matrix, plan, schema),
+            graph=graph_sample_from_matrix(matrix, plan),
+        )
+    if trace.enabled:
+        get_registry().counter("tasq_plans_featurized").increment()
+    return features
 
 
 def _scoring_dataset(
@@ -259,10 +273,16 @@ class ScoringPipeline:
         if any(t < 1 for t in requested_tokens):
             raise PipelineError("requested tokens must be positive")
 
-        dataset = _scoring_dataset(
-            plans, np.asarray(requested_tokens, float), features
-        )
-        pccs = self.model.predict_pccs(dataset)
+        with trace.span("tasq.score_batch", batch=len(plans)):
+            dataset = _scoring_dataset(
+                plans, np.asarray(requested_tokens, float), features
+            )
+            with trace.span("tasq.predict_pccs", batch=len(plans)):
+                pccs = self.model.predict_pccs(dataset)
+            if trace.enabled:
+                get_registry().counter("tasq_jobs_scored").increment(
+                    len(plans)
+                )
         if pccs is None:
             raise PipelineError(
                 f"{self.model.name} is non-parametric; scoring needs a "

@@ -78,8 +78,13 @@ def cheapest_within_deadline(
             return None
         return max(1, min_tokens)
 
-    # runtime(A) <= D  <=>  A >= (b / D)^(-1/a)   (a < 0)
-    boundary = (pcc.b / deadline_seconds) ** (-1.0 / pcc.a)
+    # runtime(A) <= D  <=>  A >= (b / D)^(-1/a)   (a < 0). Computed in
+    # log space: for near-flat curves (|a| tiny) the direct power can
+    # exceed float range and raise OverflowError.
+    log_boundary = (np.log(pcc.b) - np.log(deadline_seconds)) / (-pcc.a)
+    if log_boundary > 700.0:  # exp() overflows: no finite allocation fits
+        return None
+    boundary = float(np.exp(log_boundary))
     tokens = max(min_tokens, int(np.ceil(boundary - 1e-9)))
     if max_tokens is not None and tokens > max_tokens:
         return None

@@ -1,0 +1,202 @@
+"""Tests for the tracing half of the observability layer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import trace as global_trace
+from repro.obs.tracing import Tracer
+from repro.scope import WorkloadGenerator
+
+
+class TestSpanRecording:
+    def test_disabled_by_default_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("work", key=1) as span:
+            span.set("more", 2)  # no-op on the null span
+        assert tracer.spans() == []
+        assert not tracer.enabled
+
+    def test_enabled_records_span_with_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", job="j1") as span:
+            span.set("points", 5)
+        (span,) = tracer.spans()
+        assert span.name == "work"
+        assert span.attrs == {"job": "j1", "points": 5}
+        assert span.end_s >= span.start_s
+        assert span.duration_s >= 0.0
+
+    def test_nested_spans_link_parents(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        inner, middle, outer = tracer.spans()  # finish order: innermost first
+        assert outer.name == "outer" and outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "ValueError"
+        assert span.end_s is not None
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+
+class TestConcurrency:
+    def test_concurrent_spans_from_many_threads(self):
+        tracer = Tracer(enabled=True)
+        barrier = threading.Barrier(8)  # OS thread ids are reused otherwise
+
+        def work(i: int) -> None:
+            barrier.wait()
+            for _ in range(50):
+                with tracer.span("thread_work", worker=i):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == 400
+        assert len({s.thread_id for s in spans}) == 8
+        # Per-thread stacks: spans from different threads never nest.
+        assert all(s.parent_id is None for s in spans)
+
+
+class TestRingBuffer:
+    def test_overflow_keeps_most_recent(self):
+        tracer = Tracer(capacity=10, enabled=True)
+        for i in range(25):
+            with tracer.span("s", i=i):
+                pass
+        spans = tracer.spans()
+        assert len(spans) == 10
+        assert [s.attrs["i"] for s in spans] == list(range(15, 25))
+        assert tracer.dropped == 15
+
+    def test_reset_clears(self):
+        tracer = Tracer(capacity=2, enabled=True)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(capacity=0)
+        with pytest.raises(ObservabilityError):
+            Tracer().enable(capacity=-1)
+
+
+class TestRecordSpan:
+    def test_virtual_span(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.record_span("scope.stage", 10.0, 35.0, virtual=True,
+                                  stage=3)
+        assert span.virtual
+        assert span.duration_s == 25.0
+        assert tracer.spans() == [span]
+
+    def test_disabled_returns_none(self):
+        tracer = Tracer()
+        assert tracer.record_span("x", 0.0, 1.0) is None
+
+    def test_rejects_backwards_interval(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ObservabilityError):
+            tracer.record_span("x", 2.0, 1.0)
+
+
+class TestChromeExport:
+    def test_schema_and_json_validity(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", job="j"):
+            with tracer.span("inner"):
+                pass
+        tracer.record_span("scope.stage", 0.0, 5.0, virtual=True)
+        payload = json.loads(json.dumps(tracer.chrome_trace()))
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner", "scope.stage"}
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+            assert event["dur"] >= 0
+        # Virtual spans get their own pid track.
+        pids = {e["name"]: e["pid"] for e in complete}
+        assert pids["scope.stage"] != pids["outer"]
+        assert pids["inner"] == pids["outer"]
+
+    def test_attrs_are_json_safe(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", obj=object(), n=3):
+            pass
+        payload = json.dumps(tracer.chrome_trace())
+        assert "object object" in payload  # repr()-coerced
+        assert json.loads(payload)
+
+
+class TestLatencyTable:
+    def test_self_time_subtracts_children(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        table = tracer.latency_table()
+        assert table["outer"]["count"] == 1
+        assert table["inner"]["count"] == 1
+        inner_total = table["inner"]["total_s"]
+        assert table["outer"]["self_s"] == pytest.approx(
+            table["outer"]["total_s"] - inner_total
+        )
+        assert table["outer"]["mean_s"] == table["outer"]["total_s"]
+
+    def test_aggregates_by_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(4):
+            with tracer.span("repeat"):
+                pass
+        table = tracer.latency_table()
+        assert table["repeat"]["count"] == 4
+        assert table["repeat"]["max_s"] <= table["repeat"]["total_s"]
+
+
+class TestInstrumentationDefaultOff:
+    def test_instrumented_code_adds_no_spans_when_disabled(self):
+        assert not global_trace.enabled  # the process default
+        before = len(global_trace.spans())
+        WorkloadGenerator(seed=0).generate(3)  # instrumented call site
+        assert len(global_trace.spans()) == before
+
+    def test_global_enable_disable_roundtrip(self):
+        assert not global_trace.enabled
+        try:
+            global_trace.enable()
+            WorkloadGenerator(seed=1).generate(2)
+            names = {s.name for s in global_trace.spans()}
+            assert "scope.generate_workload" in names
+        finally:
+            global_trace.disable()
+            global_trace.reset()
+        assert not global_trace.enabled

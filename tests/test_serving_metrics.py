@@ -1,10 +1,10 @@
-"""Unit tests for the serving metrics registry."""
+"""Unit tests for the serving metrics registry (now an obs shim)."""
 
 import threading
 
 import pytest
 
-from repro.exceptions import ServingError
+from repro.exceptions import ObservabilityError
 from repro.serving import Counter, LatencyHistogram, MetricsRegistry
 
 
@@ -16,7 +16,7 @@ class TestCounter:
         assert counter.value == 6
 
     def test_rejects_negative(self):
-        with pytest.raises(ServingError):
+        with pytest.raises(ObservabilityError):
             Counter("x").increment(-1)
 
     def test_thread_safety(self):
@@ -73,9 +73,9 @@ class TestLatencyHistogram:
 
     def test_rejects_bad_values(self):
         hist = LatencyHistogram("latency")
-        with pytest.raises(ServingError):
+        with pytest.raises(ObservabilityError):
             hist.record(-1.0)
-        with pytest.raises(ServingError):
+        with pytest.raises(ObservabilityError):
             hist.quantile(0.0)
 
 
