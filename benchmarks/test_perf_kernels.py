@@ -8,21 +8,55 @@ useful for catching performance regressions:
 * the discrete-event cluster executor,
 * featurization (job vectors + graph samples),
 * one boosting round and one NN training epoch,
-* GNN forward pass over a padded batch.
+* GNN forward pass over a padded batch,
+* the offline pipeline hot paths: ``build_dataset`` end-to-end, the
+  vectorized allocation-sweep kernel, and warm-versus-cold cached builds.
+
+The pipeline benchmarks additionally write their median round times to
+``benchmarks/results/BENCH_pipeline.json`` so CI can archive them.
 """
 
 from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.arepas import AREPAS
+from repro.cache import ArtifactCache
 from repro.features import job_vector, plan_to_graph_sample
 from repro.ml.gbm import BoosterParams, GradientBoostingRegressor
 from repro.ml.gnn import pad_graph_batch
-from repro.models import NNPCCModel, TrainConfig
+from repro.models import NNPCCModel, TrainConfig, build_dataset
 from repro.scope import ClusterExecutor, decompose_stages
+from repro.scope.repository import JobRepository
 from repro.skyline import Skyline
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_PIPELINE: dict[str, float | int] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_pipeline_json():
+    """Flush collected pipeline medians to BENCH_pipeline.json."""
+    yield
+    if _PIPELINE:
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        out = _RESULTS_DIR / "BENCH_pipeline.json"
+        out.write_text(json.dumps(_PIPELINE, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def pipeline_repo(train_repo):
+    """A ~120-job slice of the training workload for end-to-end rounds."""
+    subset = JobRepository()
+    for record in train_repo.records()[:120]:
+        subset.add(record)
+    return subset
 
 
 @pytest.fixture(scope="module")
@@ -101,3 +135,58 @@ def test_perf_gnn_forward(benchmark, train_dataset):
     )
     out = benchmark(encoder.encode, batch)
     assert out.shape == (len(samples), 80)
+
+
+# ----------------------------------------------------------------------
+# offline pipeline benchmarks (results land in BENCH_pipeline.json)
+# ----------------------------------------------------------------------
+def test_perf_build_dataset_e2e(benchmark, pipeline_repo):
+    """Uncached featurize-and-fit over the whole slice."""
+    dataset = benchmark.pedantic(
+        build_dataset, args=(pipeline_repo,), rounds=5, iterations=1
+    )
+    assert len(dataset) > 0
+    _PIPELINE["build_dataset_e2e_s"] = benchmark.stats.stats.median
+    _PIPELINE["build_dataset_jobs"] = len(pipeline_repo)
+
+
+def test_perf_vectorized_sweep(benchmark, big_skyline):
+    """One kernel pass over a 64-point grid vs. the per-allocation loop."""
+    sim = AREPAS()
+    grid = np.geomspace(0.05, 1.0, 64) * big_skyline.peak
+
+    fast = benchmark(sim.sweep_runtimes, big_skyline, grid)
+
+    start = time.perf_counter()
+    slow = [sim.simulate(big_skyline, float(a)).simulated_runtime for a in grid]
+    loop_s = time.perf_counter() - start
+
+    assert fast.tolist() == slow
+    kernel_s = benchmark.stats.stats.median
+    _PIPELINE["sweep_kernel_s"] = kernel_s
+    _PIPELINE["sweep_loop_s"] = loop_s
+    _PIPELINE["sweep_speedup"] = loop_s / kernel_s
+    assert loop_s > kernel_s
+
+
+def test_perf_cache_hit_build(pipeline_repo, tmp_path):
+    """Warm content-addressed rebuilds must be >=5x faster than cold."""
+    start = time.perf_counter()
+    cold_dataset = build_dataset(pipeline_repo, cache=ArtifactCache(tmp_path))
+    cold_s = time.perf_counter() - start
+
+    warm_times = []
+    for _ in range(5):
+        cache = ArtifactCache(tmp_path)
+        start = time.perf_counter()
+        warm_dataset = build_dataset(pipeline_repo, cache=cache)
+        warm_times.append(time.perf_counter() - start)
+    warm_s = statistics.median(warm_times)
+
+    assert cache.misses == 0 and cache.hits > 0
+    assert len(warm_dataset) == len(cold_dataset)
+    speedup = cold_s / warm_s
+    _PIPELINE["cache_cold_build_s"] = cold_s
+    _PIPELINE["cache_warm_build_s"] = warm_s
+    _PIPELINE["cache_warm_speedup"] = speedup
+    assert speedup >= 5.0

@@ -23,6 +23,7 @@ from repro.arepas.simulator import (
     SimulationResult,
     simulate_runtime,
     simulate_skyline,
+    sweep_runtimes,
 )
 from repro.arepas.validation import (
     JobSimulationError,
@@ -38,6 +39,7 @@ __all__ = [
     "SimulationResult",
     "simulate_skyline",
     "simulate_runtime",
+    "sweep_runtimes",
     "AugmentedObservation",
     "augment_point_observations",
     "default_token_grid",

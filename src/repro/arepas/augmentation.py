@@ -82,6 +82,16 @@ def augment_point_observations(
         raise SimulationError("observed token count must be positive")
     sim = simulator or AREPAS()
 
+    # One kernel call covers every simulated allocation: the under-observed
+    # fractions plus (for over-allocated jobs) the peak itself.
+    under_tokens = [max(1.0, f * observed_tokens) for f in under_fractions]
+    peak = skyline.peak
+    over_allocated = observed_tokens > peak and peak > 0
+    allocations = under_tokens + ([peak] if over_allocated else [])
+    runtimes = (
+        sim.sweep_runtimes(skyline, allocations) if allocations else []
+    )
+
     observations = [
         AugmentedObservation(
             tokens=float(observed_tokens),
@@ -89,17 +99,14 @@ def augment_point_observations(
             source="observed",
         )
     ]
-
-    for fraction in under_fractions:
-        tokens = max(1.0, fraction * observed_tokens)
-        runtime = sim.runtime(skyline, tokens)
-        observations.append(AugmentedObservation(tokens=tokens, runtime=float(runtime)))
-
-    peak = skyline.peak
-    if observed_tokens > peak and peak > 0:
+    for tokens, runtime in zip(under_tokens, runtimes):
+        observations.append(
+            AugmentedObservation(tokens=tokens, runtime=float(runtime))
+        )
+    if over_allocated:
         # Over-allocated job: more tokens than the peak cannot help, so the
         # run time at/beyond the peak is the peak-allocation run time.
-        peak_runtime = float(sim.runtime(skyline, peak))
+        peak_runtime = float(runtimes[-1])
         for fraction in over_fractions:
             observations.append(
                 AugmentedObservation(tokens=fraction * peak, runtime=peak_runtime)
@@ -143,8 +150,10 @@ def sweep_token_grid(
     the simulated one.
     """
     sim = simulator or AREPAS()
+    grid = np.asarray(grid, dtype=float)
+    runtimes = sim.sweep_runtimes(skyline, grid)
     observations = []
-    for tokens in np.asarray(grid, dtype=float):
+    for tokens, runtime in zip(grid, runtimes):
         if observed_tokens is not None and abs(tokens - observed_tokens) < 0.5:
             observations.append(
                 AugmentedObservation(
@@ -154,7 +163,6 @@ def sweep_token_grid(
                 )
             )
         else:
-            runtime = sim.runtime(skyline, float(tokens))
             observations.append(
                 AugmentedObservation(tokens=float(tokens), runtime=float(runtime))
             )

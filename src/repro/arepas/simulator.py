@@ -25,7 +25,13 @@ from repro.exceptions import SimulationError
 from repro.skyline.sections import split_sections
 from repro.skyline.skyline import Skyline
 
-__all__ = ["SimulationResult", "AREPAS", "simulate_skyline", "simulate_runtime"]
+__all__ = [
+    "SimulationResult",
+    "AREPAS",
+    "simulate_skyline",
+    "simulate_runtime",
+    "sweep_runtimes",
+]
 
 
 @dataclass(frozen=True)
@@ -95,12 +101,19 @@ class AREPAS:
                 sections_redistributed=0,
             )
 
+        # Section areas come from the skyline-level prefix sum — the same
+        # arithmetic (and hence the same floating-point rounding) the
+        # vectorized sweep kernel uses, keeping both paths bit-identical
+        # even when area / threshold lands exactly on an integer (e.g.
+        # thresholds derived as fractions of the peak).
+        prefix = np.concatenate([[0.0], np.cumsum(skyline.usage)])
         pieces: list[np.ndarray] = []
         copied = 0
         redistributed = 0
         for section in split_sections(skyline, allocation):
             if section.over:
-                pieces.append(self._stretch(section.usage, allocation))
+                area = float(prefix[section.end] - prefix[section.start])
+                pieces.append(self._stretch(section.usage, allocation, area))
                 redistributed += 1
             else:
                 pieces.append(section.usage)
@@ -117,23 +130,136 @@ class AREPAS:
         )
 
     def runtime(self, skyline: Skyline, allocation: float) -> int:
-        """Simulated run time (seconds) at ``allocation``."""
-        return self.simulate(skyline, allocation).simulated_runtime
+        """Simulated run time (seconds) at ``allocation``.
+
+        Computed with the vectorized sweep kernel, which skips
+        materializing the simulated skyline entirely — run-time-only
+        callers (PCC target fitting, point augmentation, the what-if
+        search) never pay for the stretched arrays.
+        """
+        if allocation <= 0:
+            raise SimulationError("simulated allocation must be positive")
+        return int(self.sweep_runtimes(skyline, [float(allocation)])[0])
 
     def sweep(
         self, skyline: Skyline, allocations: np.ndarray | list[float]
     ) -> list[SimulationResult]:
-        """Simulate the skyline at each allocation in ``allocations``."""
+        """Simulate the skyline at each allocation in ``allocations``.
+
+        Materializes a full :class:`SimulationResult` (including the
+        simulated skyline) per allocation; use :meth:`sweep_runtimes`
+        when only the run times are needed.
+        """
         return [self.simulate(skyline, float(a)) for a in allocations]
 
-    def _stretch(self, usage: np.ndarray, threshold: float) -> np.ndarray:
+    def sweep_runtimes(
+        self, skyline: Skyline, allocations: np.ndarray | list[float]
+    ) -> np.ndarray:
+        """Simulated run times at every allocation, in one vectorized pass.
+
+        The kernel behind the AREPAS sweep hot path. Algorithm 1 only
+        needs section *areas* and *lengths* to produce a run time, and
+        both fall out of prefix sums, so no per-allocation skyline is
+        ever built:
+
+        * the usage prefix sum is computed once per skyline;
+        * a ``(grid, seconds)`` over-threshold mask yields every
+          over-section's ``[start, end)`` via its edge transitions, and
+          the prefix sum turns those into section areas with two gathers;
+        * an over-section of area ``A`` stretched to threshold ``T``
+          contributes ``floor(A / T)`` full seconds plus one remainder
+          second when ``A`` is not a multiple of ``T`` (the paper's
+          ``int(A / T)`` truncation when area preservation is off);
+        * everything at or under the threshold is copied verbatim, so it
+          contributes its original length — the complement of the mask.
+
+        Hence ``runtime(T) = (duration - |over seconds|) + sum of
+        stretched section lengths``, evaluated for the whole grid with
+        array ops only. Results are point-for-point identical to
+        ``simulate(...).simulated_runtime`` (property-tested).
+
+        Raises
+        ------
+        SimulationError
+            If any allocation is not positive.
+        """
+        grid = np.atleast_1d(np.asarray(allocations, dtype=float))
+        if grid.ndim != 1:
+            raise SimulationError("allocations must be a 1-D grid")
+        if grid.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.any(grid <= 0):
+            raise SimulationError("simulated allocation must be positive")
+
+        usage = skyline.usage
+        duration = skyline.duration
+        runtimes = np.full(grid.size, duration, dtype=np.int64)
+        below_peak = grid < skyline.peak
+        if not below_peak.any():
+            # Allocations at/above the peak cut nothing off (identity).
+            return runtimes
+
+        thresholds = grid[below_peak]
+        prefix = np.concatenate([[0.0], np.cumsum(usage)])
+
+        # Bound the boolean mask's footprint on very long skylines by
+        # processing the grid in row blocks.
+        block_rows = max(1, int(8_000_000 // max(1, usage.size)))
+        totals = np.empty(thresholds.size, dtype=np.int64)
+        for start in range(0, thresholds.size, block_rows):
+            block = thresholds[start : start + block_rows]
+            totals[start : start + block_rows] = self._sweep_block(
+                usage, prefix, block, duration
+            )
+        runtimes[below_peak] = totals
+        return runtimes
+
+    def _sweep_block(
+        self,
+        usage: np.ndarray,
+        prefix: np.ndarray,
+        thresholds: np.ndarray,
+        duration: int,
+    ) -> np.ndarray:
+        """Run times for one block of below-peak thresholds."""
+        over = usage[None, :] > thresholds[:, None]  # (rows, seconds)
+        pad = np.zeros((thresholds.size, 1), dtype=bool)
+        starts = over & ~np.concatenate([pad, over[:, :-1]], axis=1)
+        ends = over & ~np.concatenate([over[:, 1:], pad], axis=1)
+
+        # Per row, start/end columns are sorted and pair up one-to-one,
+        # so flattening keeps sections aligned with their rows.
+        row_idx, start_col = np.nonzero(starts)
+        _, end_col = np.nonzero(ends)
+        areas = prefix[end_col + 1] - prefix[start_col]
+        section_thresholds = thresholds[row_idx]
+        if self.preserve_area_exactly:
+            full_seconds = np.floor_divide(areas, section_thresholds)
+            remainders = areas - full_seconds * section_thresholds
+            lengths = full_seconds + (remainders > 1e-9)
+        else:
+            # int() truncation; over-sections always have area > T, so
+            # the max(1, ...) degenerate guard never binds.
+            lengths = np.trunc(areas / section_thresholds)
+        stretched = np.bincount(
+            row_idx, weights=lengths, minlength=thresholds.size
+        )
+        copied_seconds = duration - over.sum(axis=1)
+        return (copied_seconds + stretched).astype(np.int64)
+
+    def _stretch(
+        self, usage: np.ndarray, threshold: float, area: float | None = None
+    ) -> np.ndarray:
         """Flatten an over-threshold section to ``threshold`` tokens.
 
         The section's area is spread over ``ceil(area / threshold)`` (or the
         paper's ``int`` truncation) seconds at the threshold height; with
-        exact preservation the final second carries the remainder.
+        exact preservation the final second carries the remainder. Callers
+        may pass a precomputed ``area`` (prefix-sum based) so the scalar
+        and vectorized paths share identical rounding.
         """
-        area = float(usage.sum())
+        if area is None:
+            area = float(usage.sum())
         if self.preserve_area_exactly:
             full_seconds = int(area // threshold)
             remainder = area - full_seconds * threshold
@@ -159,3 +285,10 @@ def simulate_skyline(skyline: Skyline, allocation: float) -> Skyline:
 def simulate_runtime(skyline: Skyline, allocation: float) -> int:
     """Module-level convenience: simulated run time at ``allocation``."""
     return _DEFAULT.runtime(skyline, allocation)
+
+
+def sweep_runtimes(
+    skyline: Skyline, allocations: np.ndarray | list[float]
+) -> np.ndarray:
+    """Module-level convenience: vectorized run-time sweep over a grid."""
+    return _DEFAULT.sweep_runtimes(skyline, allocations)

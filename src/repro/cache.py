@@ -1,0 +1,159 @@
+"""Content-addressed on-disk memoization for offline artifacts.
+
+Repeated ``train`` / benchmark invocations over the same generated
+repository recompute every AREPAS sweep, power-law fit, and feature
+extraction from scratch. This module adds a small content-addressed
+cache so those artifacts are computed once per *content*:
+
+* **Keys are content hashes**, not names: a fitted target PCC is keyed
+  on the skyline's byte-level hash (:func:`~repro.scope.signatures.
+  skyline_signature`) plus every parameter that shapes the fit (observed
+  tokens, grid resolution, the simulator's area-preservation mode);
+  plan-derived features are keyed on
+  :func:`~repro.scope.signatures.plan_content_signature`, which covers
+  the full numeric content of the plan. Change any input and the key —
+  hence the entry — changes; identical plans across different jobs
+  *share* one feature entry.
+* **Invalidation is structural**: every key embeds
+  :data:`CACHE_VERSION`; bumping it (when artifact layout or upstream
+  semantics change) orphans all old entries without any deletion logic.
+  Unreadable/corrupt entries are treated as misses and dropped.
+* **Writes are atomic** (temp file + ``os.replace``) so concurrent
+  writers — e.g. ``repro.parallel`` workers sharing one cache directory
+  — can only ever publish complete entries. Last writer wins, which is
+  safe because entries are pure functions of their key.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — two-level sharding keeps
+directory listings small on big workloads.
+
+Hits and misses are counted both on the instance and in the
+``repro.obs`` metrics registry (``cache.hits{kind=...}`` /
+``cache.misses{kind=...}``), so parallel workers' counts merge back
+into the parent's registry alongside their spans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.obs import get_registry
+
+__all__ = [
+    "CACHE_VERSION",
+    "ArtifactCache",
+    "pcc_cache_key",
+    "features_cache_key",
+]
+
+#: Bump when cached artifact layouts or the semantics of any upstream
+#: computation (AREPAS, fitting, featurization) change; old entries are
+#: then never addressed again.
+CACHE_VERSION = 1
+
+
+def _digest(parts: tuple) -> str:
+    """Stable hex key from a tuple of primitive key parts."""
+    text = "\x1f".join(str(part) for part in parts)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def pcc_cache_key(
+    skyline_sig: str,
+    requested_tokens: float,
+    grid_points: int,
+    preserve_area_exactly: bool,
+) -> str:
+    """Key for a fitted target PCC + point augmentation of one skyline."""
+    return _digest(
+        (
+            CACHE_VERSION,
+            "pcc",
+            skyline_sig,
+            repr(float(requested_tokens)),
+            int(grid_points),
+            bool(preserve_area_exactly),
+        )
+    )
+
+
+def features_cache_key(plan_content_sig: str) -> str:
+    """Key for the plan-derived features (job vector + graph sample)."""
+    return _digest((CACHE_VERSION, "features", plan_content_sig))
+
+
+class ArtifactCache:
+    """A content-addressed pickle store under one root directory.
+
+    Entries are addressed purely by key; the cache never inspects
+    values. ``get`` returns ``default`` on a missing *or unreadable*
+    entry (corrupt files are removed), so callers always fall back to
+    recomputation and the cache can only change performance, never
+    results.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Sharded on-disk location for ``key`` (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str, default=None, kind: str = "artifact"):
+        """The value stored under ``key``, or ``default`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self._count_miss(kind)
+            return default
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            # Corrupt or truncated entry: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._count_miss(kind)
+            return default
+        self.hits += 1
+        get_registry().counter("cache.hits", kind=kind).increment()
+        return value
+
+    def put(self, key: str, value, kind: str = "artifact") -> Path:
+        """Atomically store ``value`` under ``key``; returns its path.
+
+        A temp file in the destination directory is fully written and
+        fsync-free ``os.replace``-d into place, so readers (including
+        other processes) never observe a partial entry.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _count_miss(self, kind: str) -> None:
+        self.misses += 1
+        get_registry().counter("cache.misses", kind=kind).increment()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counts observed through this instance."""
+        return {"hits": self.hits, "misses": self.misses}

@@ -60,9 +60,9 @@ __all__ = ["main", "build_parser"]
 # ----------------------------------------------------------------------
 def _cmd_generate(args: argparse.Namespace) -> int:
     generator = WorkloadGenerator(seed=args.seed)
-    jobs = generator.generate(args.jobs)
+    jobs = generator.generate(args.jobs, workers=args.workers)
     print(f"executing {len(jobs)} jobs ...", file=sys.stderr)
-    repository = run_workload(jobs, seed=args.seed + 1)
+    repository = run_workload(jobs, seed=args.seed + 1, workers=args.workers)
     path = save_repository(repository, args.out)
     stats = repository.runtime_statistics()
     print(f"wrote {path} ({len(repository)} records)")
@@ -98,7 +98,9 @@ _MODEL_BUILDERS = {
 
 def _cmd_train(args: argparse.Namespace) -> int:
     repository = load_repository(args.repo)
-    dataset = build_dataset(repository)
+    dataset = build_dataset(
+        repository, workers=args.workers, cache=args.cache
+    )
     model = _MODEL_BUILDERS[args.model](args)
     print(
         f"training {args.model} on {len(dataset)} jobs ...", file=sys.stderr
@@ -167,7 +169,7 @@ def _cmd_flight(args: argparse.Namespace) -> int:
     records = repository.records()[: args.sample]
     print(f"flighting {len(records)} jobs ...", file=sys.stderr)
     flighted = build_flighted_dataset(
-        records, FlightHarness(seed=args.seed)
+        records, FlightHarness(seed=args.seed), workers=args.workers
     )
     print(
         f"{len(flighted)} jobs survived filters "
@@ -410,6 +412,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--jobs", type=int, default=300)
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", type=Path, required=True)
+    generate.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for synthesis/execution (1 = serial)",
+    )
     generate.set_defaults(func=_cmd_generate)
 
     stats = sub.add_parser("stats", help="summarise a repository")
@@ -424,6 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=60)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", type=Path, required=True)
+    train.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for dataset construction (1 = serial)",
+    )
+    train.add_argument(
+        "--cache", type=Path, default=None,
+        help="artifact-cache directory; warm re-runs skip AREPAS sweeps",
+    )
     train.set_defaults(func=_cmd_train)
 
     score = sub.add_parser("score", help="score jobs with a trained model")
@@ -448,6 +462,10 @@ def build_parser() -> argparse.ArgumentParser:
     flight.add_argument("--repo", type=Path, required=True)
     flight.add_argument("--sample", type=int, default=25)
     flight.add_argument("--seed", type=int, default=0)
+    flight.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for the flight sweep (1 = serial)",
+    )
     flight.set_defaults(func=_cmd_flight)
 
     serve = sub.add_parser(

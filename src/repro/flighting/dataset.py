@@ -206,16 +206,18 @@ def build_flighted_dataset(
     records: list[TelemetryRecord],
     harness: FlightHarness | None = None,
     monotonicity_tolerance: float = 0.10,
+    workers: int = 1,
 ) -> FlightedDataset:
     """Flight every record, filter anomalies, and assemble the dataset.
 
     Per the paper, filters run on the per-(job, token) *mean* flights;
-    surviving jobs keep all their replicas.
+    surviving jobs keep all their replicas. ``workers > 1`` runs the
+    flight sweep across a process pool with identical results.
     """
     if not records:
         raise FlightingError("no records to flight")
     harness = harness or FlightHarness()
-    flights_by_job = harness.flight_workload(records)
+    flights_by_job = harness.flight_workload(records, workers=workers)
 
     observations: list[FlightObservation] = []
     for job_id, flights in flights_by_job.items():

@@ -11,11 +11,13 @@ errant runs (over-usage or an unexplained slowdown) so that the Section
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import FlightingError
+from repro.parallel import pmap
 from repro.scope.execution import ClusterExecutor
 from repro.scope.repository import TelemetryRecord
 from repro.scope.stages import decompose_stages
@@ -82,8 +84,11 @@ class FlightHarness:
     def flight_job(self, record: TelemetryRecord) -> list[Flight]:
         """All flights (fractions x replicas) for one job."""
         graph = decompose_stages(record.plan)
+        # crc32 rather than hash(): Python string hashing is randomized
+        # per process, which would make flights irreproducible across
+        # runs and across pool workers; crc32 is stable everywhere.
         root = np.random.default_rng(
-            (self._seed, hash(record.job_id) & 0xFFFFFFFF)
+            (self._seed, zlib.crc32(record.job_id.encode("utf-8")))
         )
         flights = []
         for fraction in self.token_fractions:
@@ -103,12 +108,21 @@ class FlightHarness:
         return flights
 
     def flight_workload(
-        self, records: list[TelemetryRecord]
+        self, records: list[TelemetryRecord], workers: int = 1
     ) -> dict[str, list[Flight]]:
-        """Flights for every record, grouped by job id."""
+        """Flights for every record, grouped by job id.
+
+        Each job's flights derive from its own rng root (seed + job-id
+        hash), so ``workers > 1`` fans jobs out over a process pool with
+        output identical to the serial sweep.
+        """
         if not records:
             raise FlightingError("no records to flight")
-        return {record.job_id: self.flight_job(record) for record in records}
+        all_flights = pmap(self.flight_job, records, workers=workers)
+        return {
+            record.job_id: flights
+            for record, flights in zip(records, all_flights)
+        }
 
     # ------------------------------------------------------------------
     def _maybe_inject_anomaly(

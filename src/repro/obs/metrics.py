@@ -156,6 +156,39 @@ class LatencyHistogram:
                     return min(max(estimate, self._min), self._max)
             return self._max  # pragma: no cover - rank <= count always hits
 
+    def state(self) -> dict:
+        """Raw, mergeable histogram state (bounds + bucket counts).
+
+        Unlike :meth:`snapshot` (which reduces to quantile estimates),
+        this is lossless up to the bucket resolution: merging two states
+        recorded separately equals recording every observation into one
+        histogram. Used to ship worker-process histograms back to the
+        parent (``repro.parallel``).
+        """
+        with self._lock:
+            return {
+                "bounds": list(self._bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one."""
+        if list(state["bounds"]) != self._bounds:
+            raise ObservabilityError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        with self._lock:
+            for i, bucket_count in enumerate(state["counts"]):
+                self._counts[i] += bucket_count
+            self._count += state["count"]
+            self._sum += state["sum"]
+            self._min = min(self._min, state["min"])
+            self._max = max(self._max, state["max"])
+
     def snapshot(self) -> dict[str, float | int | None]:
         p50, p95, p99 = (self.quantile(q) for q in (0.50, 0.95, 0.99))
         with self._lock:
@@ -234,6 +267,37 @@ class MetricsRegistry:
             "histograms": {name: h.snapshot() for name, h in histograms.items()},
             "gauges": {name: read() for name, read in gauges.items()},
         }
+
+    def dump_state(self) -> dict[str, dict]:
+        """Transferable registry state: counter values + histogram states.
+
+        Gauges are lazily evaluated callables bound to process-local
+        objects, so they are deliberately excluded — a worker's gauges
+        are meaningless in the parent. Pair with :meth:`merge_state`.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in counters.items()},
+            "histograms": {name: h.state() for name, h in histograms.items()},
+        }
+
+    def merge_state(self, state: dict[str, dict]) -> None:
+        """Fold a :meth:`dump_state` payload (e.g. from a worker) in.
+
+        Counter values add; histograms merge bucket-by-bucket (created
+        here with the worker's bounds if absent). Keys arrive already
+        label-rendered (``name{k=v}``), so they address the same child
+        metrics they came from.
+        """
+        for name, value in state.get("counters", {}).items():
+            if value:
+                self.counter(name).increment(value)
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name, bounds=hist_state["bounds"]).merge_state(
+                hist_state
+            )
 
     def reset(self) -> None:
         """Drop every registered metric (mainly for tests / CLI runs)."""

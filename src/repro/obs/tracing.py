@@ -33,6 +33,7 @@ import os
 import threading
 import time
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.exceptions import ObservabilityError
@@ -227,6 +228,46 @@ class Tracer:
         )
         self._record(span)
         return span
+
+    def merge_spans(self, spans: Iterable[Span]) -> list[Span]:
+        """Adopt spans recorded by another tracer (e.g. a worker process).
+
+        Cross-process tracing support: ``repro.parallel`` workers buffer
+        spans into their own tracer and ship them back with chunk
+        results; the parent calls this to fold them into its buffer.
+        Span ids are reassigned from the parent's id source (worker ids
+        can collide with parent ids, especially under ``fork`` where the
+        child inherits the counter), parent links *within* the batch are
+        remapped accordingly, and batch roots are attached under the
+        parent's currently open span so worker work nests beneath e.g.
+        ``models.build_dataset`` in exports. No-op while disabled.
+        """
+        spans = list(spans)
+        if not self._enabled or not spans:
+            return []
+        current = self.current_span()
+        attach_to = current.span_id if current is not None else None
+        id_map = {span.span_id: next(_ids) for span in spans}
+        merged = []
+        for span in spans:
+            parent = span.parent_id
+            parent = id_map.get(parent, attach_to) if parent is not None else attach_to
+            merged.append(
+                Span(
+                    name=span.name,
+                    span_id=id_map[span.span_id],
+                    parent_id=parent,
+                    thread_id=span.thread_id,
+                    thread_name=span.thread_name,
+                    start_s=span.start_s,
+                    end_s=span.end_s,
+                    virtual=span.virtual,
+                    attrs=dict(span.attrs),
+                )
+            )
+        for span in merged:
+            self._record(span)
+        return merged
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)

@@ -16,7 +16,11 @@ from repro.scope.operators import (
 from repro.scope.plan import OperatorNode, QueryPlan
 from repro.scope.repository import JobRepository, TelemetryRecord, run_workload
 from repro.scope.serialization import load_repository, save_repository
-from repro.scope.signatures import plan_signature
+from repro.scope.signatures import (
+    plan_content_signature,
+    plan_signature,
+    skyline_signature,
+)
 from repro.scope.stages import CostModel, Stage, StageGraph, decompose_stages
 
 __all__ = [
@@ -45,6 +49,8 @@ __all__ = [
     "save_repository",
     "load_repository",
     "plan_signature",
+    "plan_content_signature",
+    "skyline_signature",
     "ClusterQueue",
     "QueuedJob",
     "QueueOutcome",

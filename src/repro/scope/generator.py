@@ -22,11 +22,13 @@ properties:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.exceptions import PlanError
 from repro.obs import get_registry, trace
+from repro.parallel import pmap
 from repro.scope.operators import PartitioningMethod
 from repro.scope.plan import OperatorNode, QueryPlan
 
@@ -132,7 +134,16 @@ _POST_WEIGHTS = (0.25, 0.1, 0.1, 0.1, 0.1, 0.15, 0.1, 0.1)
 
 
 class WorkloadGenerator:
-    """Seeded generator of :class:`JobInstance` populations."""
+    """Seeded generator of :class:`JobInstance` populations.
+
+    Determinism model: the shared template pool is drawn once at
+    construction from the root seed, and every *job* derives its own RNG
+    stream from ``SeedSequence((seed, job_index))`` where ``job_index``
+    is the job's absolute position in this generator's lifetime. Job
+    streams therefore depend only on the seed and the index — not on how
+    jobs are batched across :meth:`generate` calls or worker processes —
+    so ``generate(n, workers=8)`` is bit-identical to ``workers=1``.
+    """
 
     def __init__(self, config: WorkloadConfig | None = None, seed: int = 0) -> None:
         self.config = config or WorkloadConfig()
@@ -147,21 +158,31 @@ class WorkloadGenerator:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def generate(self, num_jobs: int, start_day: int = 0) -> list[JobInstance]:
+    def generate(
+        self, num_jobs: int, start_day: int = 0, workers: int = 1
+    ) -> list[JobInstance]:
         """Generate a workload of ``num_jobs`` jobs.
 
         Jobs are spread uniformly over submission days starting at
         ``start_day`` (one "day" per ~1000 jobs, so small workloads land on
-        a single day).
+        a single day). ``workers > 1`` synthesises jobs across a process
+        pool with identical output (see the class docstring).
         """
         if num_jobs < 1:
             raise PlanError("num_jobs must be positive")
         with trace.span("scope.generate_workload", jobs=num_jobs):
-            jobs = []
+            base = self._job_counter
             num_days = max(1, num_jobs // 1000)
-            for i in range(num_jobs):
-                day = start_day + (i * num_days) // num_jobs
-                jobs.append(self.generate_job(day))
+            tasks = [
+                (base + i, start_day + (i * num_days) // num_jobs)
+                for i in range(num_jobs)
+            ]
+            jobs = pmap(
+                partial(_generate_indexed, generator=self),
+                tasks,
+                workers=workers,
+            )
+            self._job_counter = base + num_jobs
             if trace.enabled:
                 get_registry().counter("scope_jobs_generated").increment(
                     num_jobs
@@ -170,20 +191,37 @@ class WorkloadGenerator:
 
     def generate_job(self, submit_day: int = 0) -> JobInstance:
         """Generate a single job (recurring with configured probability)."""
-        recurring = self._rng.random() < self.config.recurring_fraction
+        job = self._job_at_index(self._job_counter, submit_day)
+        self._job_counter += 1
+        return job
+
+    def _job_at_index(self, index: int, submit_day: int) -> JobInstance:
+        """The job at absolute position ``index`` — a pure function of
+        ``(seed, index)``, so it may run in any process in any order."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self._seed, index))
+        )
+        recurring = rng.random() < self.config.recurring_fraction
         if recurring:
             template = self._templates[
-                int(self._rng.integers(len(self._templates)))
+                int(rng.integers(len(self._templates)))
             ]
-            return self._instantiate(template, submit_day, recurring=True)
-        template = self._draw_template(f"A{self._job_counter:06d}")
-        return self._instantiate(template, submit_day, recurring=False)
+            return self._instantiate(
+                template, submit_day, recurring=True, rng=rng, index=index
+            )
+        template = self._draw_template(f"A{index:06d}", rng=rng)
+        return self._instantiate(
+            template, submit_day, recurring=False, rng=rng, index=index
+        )
 
     # ------------------------------------------------------------------
     # template construction
     # ------------------------------------------------------------------
-    def _draw_template(self, template_id: str) -> _TemplateSpec:
-        rng = self._rng
+    def _draw_template(
+        self, template_id: str, rng: np.random.Generator | None = None
+    ) -> _TemplateSpec:
+        if rng is None:
+            rng = self._rng
         cfg = self.config
         num_inputs = int(rng.choice([1, 2, 2, 3, 3, 4, 5]))
         base_leaf_rows = tuple(
@@ -229,12 +267,15 @@ class WorkloadGenerator:
     # template instantiation
     # ------------------------------------------------------------------
     def _instantiate(
-        self, template: _TemplateSpec, submit_day: int, recurring: bool
+        self,
+        template: _TemplateSpec,
+        submit_day: int,
+        recurring: bool,
+        rng: np.random.Generator,
+        index: int,
     ) -> JobInstance:
-        rng = self._rng
         cfg = self.config
-        self._job_counter += 1
-        job_id = f"job-{self._seed}-{self._job_counter:06d}"
+        job_id = f"job-{self._seed}-{index + 1:06d}"
 
         # Structural choices (operator variants, selectivities, widths) are
         # frozen per template so recurring instances share one plan shape;
@@ -282,6 +323,14 @@ class WorkloadGenerator:
             submit_day=submit_day,
             recurring=recurring,
         )
+
+
+def _generate_indexed(
+    task: tuple[int, int], generator: WorkloadGenerator
+) -> JobInstance:
+    """Top-level (hence picklable) pmap task: one ``(index, day)`` job."""
+    index, submit_day = task
+    return generator._job_at_index(index, submit_day)
 
 
 class _PlanBuilder:

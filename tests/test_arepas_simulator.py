@@ -106,3 +106,78 @@ class TestPeakyVersusFlat:
         assert [r.allocation for r in results] == [80.0, 40.0, 20.0]
         assert all(r.skyline.area == pytest.approx(peaky_skyline.area)
                    for r in results)
+
+
+class TestSweepRuntimesKernel:
+    def test_matches_simulate_on_figure6(self, figure6_skyline):
+        sim = AREPAS()
+        grid = np.array([7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5])
+        fast = sim.sweep_runtimes(figure6_skyline, grid)
+        slow = [
+            sim.simulate(figure6_skyline, float(a)).simulated_runtime
+            for a in grid
+        ]
+        assert fast.tolist() == slow
+
+    def test_matches_simulate_in_approximate_mode(self, figure6_skyline):
+        sim = AREPAS(preserve_area_exactly=False)
+        grid = np.array([6.0, 4.5, 3.0, 1.5])
+        fast = sim.sweep_runtimes(figure6_skyline, grid)
+        slow = [
+            sim.simulate(figure6_skyline, float(a)).simulated_runtime
+            for a in grid
+        ]
+        assert fast.tolist() == slow
+
+    def test_peak_fraction_thresholds_match(self, peaky_skyline):
+        """Grids derived from the peak hit exact area/threshold ratios."""
+        for exact in (True, False):
+            sim = AREPAS(preserve_area_exactly=exact)
+            grid = peaky_skyline.peak * np.array([1.0, 0.5, 0.25, 0.125])
+            fast = sim.sweep_runtimes(peaky_skyline, grid)
+            slow = [
+                sim.simulate(peaky_skyline, float(a)).simulated_runtime
+                for a in grid
+            ]
+            assert fast.tolist() == slow
+
+    def test_allocations_at_or_above_peak_return_duration(
+        self, figure6_skyline
+    ):
+        out = AREPAS().sweep_runtimes(
+            figure6_skyline, [figure6_skyline.peak, 100.0]
+        )
+        assert out.tolist() == [figure6_skyline.duration] * 2
+
+    def test_empty_grid(self, figure6_skyline):
+        out = AREPAS().sweep_runtimes(figure6_skyline, [])
+        assert out.size == 0
+
+    def test_rejects_nonpositive_allocations(self, figure6_skyline):
+        with pytest.raises(SimulationError):
+            AREPAS().sweep_runtimes(figure6_skyline, [4.0, 0.0])
+        with pytest.raises(SimulationError):
+            AREPAS().sweep_runtimes(figure6_skyline, [-1.0])
+
+    def test_runtime_uses_kernel(self, figure6_skyline):
+        sim = AREPAS()
+        for allocation in (7.0, 5.0, 3.0, 1.0):
+            assert sim.runtime(figure6_skyline, allocation) == (
+                sim.simulate(figure6_skyline, allocation).simulated_runtime
+            )
+
+    def test_row_blocking_matches_unblocked(self, figure6_skyline):
+        """Force the block loop to split the grid; results must not change."""
+        sim = AREPAS()
+        grid = np.linspace(0.5, 6.5, 13)
+        whole = sim.sweep_runtimes(figure6_skyline, grid)
+        prefix = np.concatenate([[0.0], np.cumsum(figure6_skyline.usage)])
+        blocked = np.concatenate([
+            sim._sweep_block(
+                figure6_skyline.usage, prefix, grid[i : i + 2],
+                figure6_skyline.duration,
+            )
+            for i in range(0, grid.size, 2)
+        ])
+        below = grid < figure6_skyline.peak
+        assert np.array_equal(whole[below], blocked[below])

@@ -1,0 +1,145 @@
+"""repro.cache: content-addressed artifact memoization."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    features_cache_key,
+    pcc_cache_key,
+)
+from repro.models.dataset import build_dataset
+from repro.scope.generator import WorkloadGenerator
+from repro.scope.repository import run_workload
+from repro.scope.signatures import (
+    plan_content_signature,
+    plan_signature,
+    skyline_signature,
+)
+from repro.skyline.skyline import Skyline
+
+
+@pytest.fixture(scope="module")
+def small_repo():
+    jobs = WorkloadGenerator(seed=13).generate(12)
+    return run_workload(jobs, seed=1)
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = pcc_cache_key("abc", 100.0, 8, True)
+        payload = {"a": -0.7, "rows": np.arange(4)}
+        cache.put(key, payload)
+        out = cache.get(key)
+        assert out["a"] == payload["a"]
+        assert np.array_equal(out["rows"], payload["rows"])
+        assert cache.stats() == {"hits": 1, "misses": 0}
+
+    def test_missing_key_returns_default(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("0" * 40) is None
+        assert cache.get("0" * 40, default="fallback") == "fallback"
+        assert cache.stats()["misses"] == 2
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = features_cache_key("deadbeefdeadbeef")
+        cache.put(key, (1, 2, 3))
+        path = cache.path_for(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats() == {"hits": 0, "misses": 1}
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = pcc_cache_key("xyz", 50.0, 8, True)
+        path = cache.put(key, "v")
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.pkl"
+
+
+class TestCacheKeys:
+    def test_pcc_key_sensitive_to_every_parameter(self):
+        base = pcc_cache_key("sig", 100.0, 8, True)
+        assert pcc_cache_key("gis", 100.0, 8, True) != base
+        assert pcc_cache_key("sig", 101.0, 8, True) != base
+        assert pcc_cache_key("sig", 100.0, 9, True) != base
+        assert pcc_cache_key("sig", 100.0, 8, False) != base
+        assert pcc_cache_key("sig", 100.0, 8, True) == base
+
+    def test_features_key_sensitive_to_signature(self):
+        assert features_cache_key("aa") != features_cache_key("bb")
+        assert features_cache_key("aa") == features_cache_key("aa")
+
+
+class TestContentSignatures:
+    def test_skyline_signature_tracks_content(self):
+        a = Skyline(np.array([1.0, 2.0, 3.0]))
+        b = Skyline(np.array([1.0, 2.0, 3.0]))
+        c = Skyline(np.array([1.0, 2.0, 3.0001]))
+        d = Skyline(np.array([1.0, 2.0, 3.0, 0.0]))
+        assert skyline_signature(a) == skyline_signature(b)
+        assert skyline_signature(a) != skyline_signature(c)
+        assert skyline_signature(a) != skyline_signature(d)
+
+    def test_plan_content_signature_sees_cardinality_drift(self, small_repo):
+        record = small_repo.records()[0]
+        plan = record.plan
+        baseline = plan_content_signature(plan)
+        assert plan_content_signature(plan) == baseline
+
+        node = plan.nodes[next(iter(plan.nodes))]
+        original = node.output_cardinality
+        node.output_cardinality = original * 2.0 + 1.0
+        try:
+            # The structural signature is drift-invariant by design; the
+            # content signature must move with the estimates.
+            assert plan_signature(plan) == plan_signature(plan)
+            assert plan_content_signature(plan) != baseline
+        finally:
+            node.output_cardinality = original
+
+
+class TestCachedDatasetBuild:
+    def test_warm_build_equals_cold_build(self, small_repo, tmp_path):
+        cold_cache = ArtifactCache(tmp_path)
+        cold = build_dataset(small_repo, cache=cold_cache)
+        assert cold_cache.hits == 0
+        assert cold_cache.misses > 0
+
+        warm_cache = ArtifactCache(tmp_path)
+        warm = build_dataset(small_repo, cache=warm_cache)
+        assert warm_cache.misses == 0
+        assert warm_cache.hits > 0
+
+        uncached = build_dataset(small_repo)
+        for a, b, c in zip(cold, warm, uncached):
+            assert a.job_id == b.job_id == c.job_id
+            assert a.target_pcc == b.target_pcc == c.target_pcc
+            assert np.array_equal(a.job_features, b.job_features)
+            assert np.array_equal(a.job_features, c.job_features)
+            assert np.array_equal(
+                a.graph.node_features, b.graph.node_features
+            )
+            assert np.array_equal(a.graph.adjacency, b.graph.adjacency)
+            assert a.point_observations == b.point_observations
+            assert a.point_observations == c.point_observations
+
+    def test_cache_accepts_path_argument(self, small_repo, tmp_path):
+        first = build_dataset(small_repo, cache=tmp_path / "store")
+        second = build_dataset(small_repo, cache=tmp_path / "store")
+        for a, b in zip(first, second):
+            assert a.target_pcc == b.target_pcc
+
+    def test_grid_points_change_invalidates_pcc_entries(
+        self, small_repo, tmp_path
+    ):
+        cache = ArtifactCache(tmp_path)
+        build_dataset(small_repo, grid_points=8, cache=cache)
+        probe = ArtifactCache(tmp_path)
+        build_dataset(small_repo, grid_points=9, cache=probe)
+        # Features hit (plans unchanged); PCC entries are new keys.
+        assert probe.hits > 0
+        assert probe.misses > 0

@@ -95,3 +95,56 @@ class TestArepasProperties:
         sky = Skyline(usage)
         result = AREPAS().simulate(sky, sky.peak)
         assert result.skyline == sky
+
+
+class TestSweepKernelProperties:
+    """The vectorized sweep must match simulate() point-for-point."""
+
+    @given(positive_usage_arrays, st.booleans())
+    @settings(max_examples=60)
+    def test_ragged_skylines_match_simulate(self, usage, exact):
+        sky = Skyline(usage)
+        sim = AREPAS(preserve_area_exactly=exact)
+        # Include peak fractions on the grid — they produce area/threshold
+        # ratios that land exactly on integers, the hardest case for
+        # floating-point agreement between the two paths.
+        grid = np.unique(np.concatenate([
+            np.geomspace(0.2, 1.3, 9) * sky.peak,
+            [sky.peak, sky.peak / 2, 0.5],
+        ]))
+        fast = sim.sweep_runtimes(sky, grid)
+        slow = np.array(
+            [sim.simulate(sky, float(a)).simulated_runtime for a in grid]
+        )
+        assert np.array_equal(fast, slow)
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.floats(min_value=0.5, max_value=100.0),
+           st.booleans())
+    @settings(max_examples=40)
+    def test_flat_skylines_match_simulate(self, length, level, exact):
+        sky = Skyline(np.full(length, level))
+        sim = AREPAS(preserve_area_exactly=exact)
+        grid = np.geomspace(0.1, 1.5, 12) * level
+        fast = sim.sweep_runtimes(sky, grid)
+        slow = np.array(
+            [sim.simulate(sky, float(a)).simulated_runtime for a in grid]
+        )
+        assert np.array_equal(fast, slow)
+
+    @given(st.floats(min_value=1.0, max_value=400.0),
+           st.integers(min_value=1, max_value=30),
+           st.booleans())
+    @settings(max_examples=40)
+    def test_single_section_skylines_match_simulate(
+        self, level, length, exact
+    ):
+        # One over-threshold section spanning the whole skyline.
+        sky = Skyline(np.full(length, level))
+        sim = AREPAS(preserve_area_exactly=exact)
+        grid = np.linspace(level / 10, level * 0.99, 8)
+        fast = sim.sweep_runtimes(sky, grid)
+        slow = np.array(
+            [sim.simulate(sky, float(a)).simulated_runtime for a in grid]
+        )
+        assert np.array_equal(fast, slow)
