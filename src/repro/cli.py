@@ -12,6 +12,9 @@ Subcommands mirror the production workflow of Figure 4:
 * ``serve`` — run the in-process allocation server over a repository,
 * ``loadtest`` — drive the server with a generated workload and report
   throughput, tail latency, cache hit rate, and shed rate,
+* ``fleet`` — replay a repository's jobs through the cluster-level
+  global allocator (`repro.fleet`) and compare makespan / wait /
+  token-hours across policies and the Default/Peak/TASQ baselines,
 * ``trace`` — run any of the above under the observability layer
   (`repro.obs`): span tracing, the shared metrics registry, optional
   cProfile / stack sampling; emits a Chrome-loadable trace JSON and a
@@ -322,6 +325,77 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import POLICY_NAMES, compare_policies, score_usable
+
+    repository = load_repository(args.repo)
+    records = [
+        r
+        for r in repository.records()
+        if args.min_tokens <= r.requested_tokens <= args.max_tokens
+    ]
+    records = records[: args.limit]
+    if not records:
+        print("no jobs in the requested token range", file=sys.stderr)
+        return 1
+
+    if args.model is not None:
+        with open(args.model, "rb") as handle:
+            model = pickle.load(handle)
+    else:
+        print(
+            f"no --model given: fitting XGBoostPL on {len(repository)} "
+            "historical jobs ...",
+            file=sys.stderr,
+        )
+        model = XGBoostPL(seed=args.seed).fit(build_dataset(repository))
+
+    scorer = ScoringPipeline(
+        model,
+        improvement_threshold=args.threshold,
+        max_slowdown=args.max_slowdown,
+    )
+    scored = len(records)
+    records, recommendations = score_usable(scorer, records)
+    if len(records) < scored:
+        print(
+            f"skipped {scored - len(records)} job(s) with an increasing "
+            "predicted PCC",
+            file=sys.stderr,
+        )
+    if not records:
+        print("no scorable jobs in the requested range", file=sys.stderr)
+        return 1
+
+    policies = (
+        POLICY_NAMES if args.policy == "all" else (args.policy,)
+    )
+    comparison = compare_policies(
+        records,
+        recommendations,
+        capacity=args.cluster_cap,
+        policies=policies,
+        arrival_mean_s=args.arrival_mean,
+        seed=args.seed,
+        slowdown_floor=args.slowdown_floor,
+        deadline_slack=args.deadline_slack,
+    )
+    print(
+        f"{comparison.jobs} jobs, cluster cap "
+        f"{comparison.capacity} tokens, seed {comparison.seed}"
+    )
+    print(comparison.render())
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(comparison.to_json(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"(comparison written to {args.out})")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run another subcommand under the observability layer."""
     from repro.obs.profiling import SamplingProfiler, SpanProfiler
@@ -503,6 +577,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="smoke-test scale (30 jobs / 60 requests); used by CI",
     )
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="compare cluster-level global allocation policies",
+        description="Replay a repository's jobs through the fleet "
+        "scheduler under a shared token cap and compare cluster-wide "
+        "makespan / wait time / token-hours across allocation policies "
+        "and the Default/Peak/per-job-TASQ baselines (docs/fleet.md). "
+        "Runs are fully seeded and reproducible.",
+    )
+    fleet.add_argument("--repo", type=Path, required=True)
+    fleet.add_argument(
+        "--model", type=Path, default=None,
+        help="pickled PCC model; omitted = fit XGBoostPL on the repo",
+    )
+    fleet.add_argument(
+        "--cluster-cap", type=int, default=None,
+        help="shared token pool size; default = the stream's largest "
+        "single request",
+    )
+    fleet.add_argument(
+        "--policy",
+        choices=["all", "water_filling", "knapsack", "deadline"],
+        default="all",
+        help="global allocation policy to evaluate (default: all)",
+    )
+    fleet.add_argument("--limit", type=int, default=200)
+    fleet.add_argument("--min-tokens", type=int, default=2)
+    fleet.add_argument("--max-tokens", type=int, default=600)
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument(
+        "--arrival-mean", type=float, default=15.0,
+        help="mean inter-arrival gap (seconds) of the Poisson stream",
+    )
+    fleet.add_argument("--threshold", type=float, default=10.0)
+    fleet.add_argument("--max-slowdown", type=float, default=0.10)
+    fleet.add_argument(
+        "--slowdown-floor", type=float, default=0.25,
+        help="protective SLO: never squeeze a job beyond this predicted "
+        "slowdown versus its request",
+    )
+    fleet.add_argument(
+        "--deadline-slack", type=float, default=0.25,
+        help="deadline policy: per-job deadline as (1+slack) x predicted "
+        "run time at the requested tokens",
+    )
+    fleet.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the comparison as JSON to this path",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     traced = sub.add_parser(
         "trace",

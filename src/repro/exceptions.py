@@ -63,3 +63,7 @@ class ServingError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised by the observability layer (tracing, metrics, profiling)."""
+
+
+class FleetError(ReproError):
+    """Raised by the cluster-level global token allocator and scheduler."""

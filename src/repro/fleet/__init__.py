@@ -1,0 +1,62 @@
+"""Cluster-level global token allocation under a shared budget.
+
+Turns the per-job TASQ recommender into a cluster resource manager (the
+LeJOT direction): a :class:`GlobalAllocator` divides a cluster-wide
+token cap across concurrent jobs from their predicted PCCs, a
+:class:`FleetScheduler` admits jobs with allocator-chosen grants and
+redistributes released tokens, and :func:`compare_policies` measures
+cluster-wide makespan / wait / token-hours against the per-job TASQ and
+Default/Peak baselines. See ``docs/fleet.md``.
+"""
+
+from repro.fleet.allocator import (
+    POLICY_NAMES,
+    AllocationPolicy,
+    DeadlineAwarePolicy,
+    GlobalAllocator,
+    KnapsackPolicy,
+    WaterFillingPolicy,
+    make_policy,
+)
+from repro.fleet.candidates import (
+    CandidateGrid,
+    pcc_grids,
+    skyline_grid,
+    token_grid,
+)
+from repro.fleet.demand import FleetAllocation, JobDemand, TokenGrant
+from repro.fleet.evaluation import (
+    BASELINE_NAMES,
+    FleetComparison,
+    PolicyOutcome,
+    build_demands,
+    compare_policies,
+    score_usable,
+)
+from repro.fleet.scheduler import FleetJob, FleetReport, FleetScheduler
+
+__all__ = [
+    "JobDemand",
+    "TokenGrant",
+    "FleetAllocation",
+    "CandidateGrid",
+    "token_grid",
+    "pcc_grids",
+    "skyline_grid",
+    "AllocationPolicy",
+    "WaterFillingPolicy",
+    "KnapsackPolicy",
+    "DeadlineAwarePolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "GlobalAllocator",
+    "FleetJob",
+    "FleetReport",
+    "FleetScheduler",
+    "PolicyOutcome",
+    "FleetComparison",
+    "build_demands",
+    "score_usable",
+    "compare_policies",
+    "BASELINE_NAMES",
+]

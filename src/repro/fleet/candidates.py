@@ -1,0 +1,155 @@
+"""Candidate allocation grids for the discrete (knapsack) policy.
+
+The knapsack pass does not reason about continuous token counts: each
+job offers a short ascending grid of candidate allocations with a
+predicted run time per candidate, and the policy picks one candidate per
+job. Grids come from two sources:
+
+* a predicted :class:`~repro.pcc.curve.PowerLawPCC` — all jobs' grids
+  are evaluated in **one** vectorized power call (:func:`pcc_grids`);
+* an observed skyline — run times come from the PR 4 AREPAS
+  ``sweep_runtimes`` prefix-sum kernel, one vectorized sweep per job and
+  no per-allocation Python loop (:func:`skyline_grid`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FleetError
+from repro.skyline.skyline import Skyline
+
+__all__ = ["CandidateGrid", "token_grid", "pcc_grids", "skyline_grid"]
+
+
+@dataclass(frozen=True)
+class CandidateGrid:
+    """Ascending candidate allocations and their predicted run times."""
+
+    tokens: np.ndarray  # int64, strictly increasing
+    runtimes: np.ndarray  # float, same length
+
+    def __post_init__(self) -> None:
+        if self.tokens.size == 0 or self.tokens.size != self.runtimes.size:
+            raise FleetError("candidate grid needs aligned, non-empty arrays")
+        if np.any(np.diff(self.tokens) <= 0):
+            raise FleetError("candidate tokens must be strictly increasing")
+        if np.any(self.runtimes <= 0):
+            raise FleetError("candidate run times must be positive")
+
+    @property
+    def min_tokens(self) -> int:
+        return int(self.tokens[0])
+
+    @property
+    def max_tokens(self) -> int:
+        return int(self.tokens[-1])
+
+    def concave_steps(self) -> list[tuple[int, int, float]]:
+        """Upgrade steps along the grid's concave improvement envelope.
+
+        Returns ``(from_index, to_index, gain_per_token)`` triples with
+        strictly decreasing per-token gain. Walking them in order is the
+        exchange-argument-optimal greedy for a concave grid; skipping
+        dominated candidates (where a later candidate is better per
+        token) keeps the greedy from stalling on flat or noisy segments
+        of an AREPAS sweep.
+        """
+        hull = [0]
+        for j in range(1, int(self.tokens.size)):
+            while len(hull) >= 2:
+                i, k = hull[-2], hull[-1]
+                # Keep k only if gain/token into k beats gain/token out.
+                into = (self.runtimes[i] - self.runtimes[k]) / (
+                    self.tokens[k] - self.tokens[i]
+                )
+                out = (self.runtimes[k] - self.runtimes[j]) / (
+                    self.tokens[j] - self.tokens[k]
+                )
+                if out >= into:
+                    hull.pop()
+                else:
+                    break
+            if self.runtimes[j] < self.runtimes[hull[-1]]:
+                hull.append(j)
+        steps = []
+        for i, j in zip(hull, hull[1:]):
+            gain = float(
+                (self.runtimes[i] - self.runtimes[j])
+                / (self.tokens[j] - self.tokens[i])
+            )
+            steps.append((i, j, gain))
+        return steps
+
+
+def token_grid(
+    min_tokens: int, max_tokens: int, num_points: int = 16
+) -> np.ndarray:
+    """Geometric integer grid spanning ``[min_tokens, max_tokens]``."""
+    if min_tokens < 1 or max_tokens < min_tokens:
+        raise FleetError("invalid candidate token range")
+    if num_points < 1:
+        raise FleetError("need at least one candidate point")
+    grid = np.unique(
+        np.round(
+            np.geomspace(min_tokens, max_tokens, num_points)
+        ).astype(np.int64)
+    )
+    return grid
+
+
+def pcc_grids(
+    a: np.ndarray,
+    b: np.ndarray,
+    min_tokens: np.ndarray,
+    max_tokens: np.ndarray,
+    num_points: int = 16,
+) -> list[CandidateGrid]:
+    """Candidate grids for a whole fleet of power-law PCCs at once.
+
+    Per-job grids differ in range and (after integer rounding) length,
+    so they are concatenated into one flat array and the run times for
+    *every job's every candidate* are evaluated with a single
+    ``b * A**a`` broadcast — no per-job, let alone per-allocation,
+    Python-level arithmetic.
+    """
+    grids = [
+        token_grid(int(lo), int(hi), num_points)
+        for lo, hi in zip(min_tokens, max_tokens)
+    ]
+    lengths = np.array([g.size for g in grids])
+    flat_tokens = np.concatenate(grids).astype(float)
+    flat_a = np.repeat(np.asarray(a, dtype=float), lengths)
+    flat_b = np.repeat(np.asarray(b, dtype=float), lengths)
+    flat_runtimes = flat_b * np.power(flat_tokens, flat_a)
+    splits = np.cumsum(lengths)[:-1]
+    return [
+        CandidateGrid(tokens=tokens, runtimes=runtimes)
+        for tokens, runtimes in zip(
+            grids, np.split(flat_runtimes, splits)
+        )
+    ]
+
+
+def skyline_grid(
+    skyline: Skyline,
+    min_tokens: int,
+    max_tokens: int,
+    num_points: int = 16,
+) -> CandidateGrid:
+    """AREPAS-backed candidate grid for one observed skyline.
+
+    Run times come from one vectorized ``sweep_runtimes`` pass (the
+    PR 4 prefix-sum kernel). AREPAS's remainder-second rounding can
+    produce tiny non-monotonicities along the grid; a running minimum
+    restores the non-increasing shape the greedy upgrade walk expects.
+    """
+    from repro.arepas.simulator import sweep_runtimes
+
+    grid = token_grid(min_tokens, max_tokens, num_points)
+    runtimes = sweep_runtimes(skyline, grid.astype(float)).astype(float)
+    runtimes = np.minimum.accumulate(runtimes)
+    runtimes = np.maximum(runtimes, 1e-9)
+    return CandidateGrid(tokens=grid, runtimes=runtimes)

@@ -1,0 +1,316 @@
+"""Admission scheduling with allocator-chosen token grants.
+
+:class:`FleetScheduler` extends the FCFS
+:class:`~repro.scope.cluster.ClusterQueue` in one fundamental way: jobs
+no longer arrive with a fixed token request. They arrive with a
+*demand* (predicted PCC plus grant bounds) and the
+:class:`~repro.fleet.allocator.GlobalAllocator` decides, at admission
+time, how many tokens each admitted job actually gets — squeezing
+grants when the pool is contended and spending spare tokens on faster
+run times when it is not.
+
+Re-allocation: whenever a completion releases tokens, the freed budget
+is first offered to the queued jobs (FCFS, order-preserving, exactly
+like the base queue) and — with ``reallocate_running=True`` — any still
+idle tokens top up *running* jobs, shortening their remaining run time
+proportionally to their PCC's predicted speed-up.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.exceptions import ExecutionError, FleetError
+from repro.fleet.allocator import AllocationPolicy, GlobalAllocator
+from repro.fleet.demand import JobDemand
+from repro.obs import trace
+from repro.scope.cluster import ClusterQueue, QueueOutcome, QueueReport
+
+__all__ = ["FleetJob", "FleetReport", "FleetScheduler"]
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """One job submitted to the fleet scheduler.
+
+    ``runtime_fn`` maps a granted token count to the job's *actual* run
+    time (e.g. an AREPAS replay of the job's observed skyline). When
+    omitted, the demand's predicted PCC stands in — useful for synthetic
+    studies where prediction is taken to be perfect.
+    """
+
+    job_id: str
+    arrival_time: float
+    demand: JobDemand
+    runtime_fn: Callable[[int], float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ExecutionError("arrival times must be non-negative")
+
+    def runtime_at(self, tokens: int) -> float:
+        runtime = (
+            self.runtime_fn(tokens)
+            if self.runtime_fn is not None
+            else self.demand.pcc.runtime(tokens)
+        )
+        runtime = float(runtime)
+        if runtime <= 0:
+            raise ExecutionError(
+                f"job {self.job_id} reported a non-positive run time"
+            )
+        return runtime
+
+
+@dataclass(frozen=True)
+class FleetReport(QueueReport):
+    """Queue statistics plus fleet-level accounting."""
+
+    policy: str
+    #: Highest number of simultaneously committed tokens observed.
+    peak_committed_tokens: int
+    #: How many times running jobs were topped up from freed tokens.
+    reallocations: int
+
+
+@dataclass
+class _Running:
+    job: FleetJob
+    tokens: int
+    start: float
+    finish: float
+    version: int = 0
+    #: Token-seconds accumulated at *previous* grant levels.
+    held: float = 0.0
+    #: When the current grant level took effect.
+    last_change: float = 0.0
+
+
+class FleetScheduler(ClusterQueue):
+    """FCFS admission where the *allocator* chooses every grant.
+
+    Parameters
+    ----------
+    capacity:
+        Cluster-wide guaranteed-token pool (same semantics as the base
+        queue).
+    policy:
+        Allocation policy instance or registry name; used to build the
+        internal :class:`GlobalAllocator` unless ``allocator`` is given.
+    reallocate_running:
+        When True, tokens left idle after the queue drains are granted
+        to running jobs, rescaling their remaining run time by the
+        predicted speed-up of the bigger grant.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: AllocationPolicy | str = "water_filling",
+        allocator: GlobalAllocator | None = None,
+        reallocate_running: bool = False,
+    ) -> None:
+        super().__init__(capacity)
+        self.allocator = allocator or GlobalAllocator(capacity, policy)
+        self.reallocate_running = reallocate_running
+
+    def run(self, jobs: list[FleetJob]) -> FleetReport:  # type: ignore[override]
+        """Simulate the stream with allocator-chosen grants."""
+        if not jobs:
+            raise ExecutionError("no jobs submitted")
+        for job in jobs:
+            if job.demand.min_tokens > self.capacity:
+                raise ExecutionError(
+                    f"job {job.job_id} needs at least "
+                    f"{job.demand.min_tokens} tokens but the cluster only "
+                    f"has {self.capacity}"
+                )
+        with trace.span(
+            "fleet.schedule", jobs=len(jobs),
+            policy=self.allocator.policy.name,
+        ):
+            return self._run(jobs)
+
+    def _run(self, jobs: list[FleetJob]) -> FleetReport:
+        arrivals = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        next_arrival = 0
+        waiting: deque[FleetJob] = deque()
+        running: dict[str, _Running] = {}
+        # Lazy-deletion heap of (finish, version, job_id): re-allocation
+        # shortens finish times, so stale entries are skipped on pop.
+        finish_heap: list[tuple[float, int, str]] = []
+        free = self.capacity
+        clock = 0.0
+        outcomes: list[QueueOutcome] = []
+        peak_committed = 0
+        reallocations = 0
+
+        def release_finished(until: float) -> None:
+            nonlocal free
+            while finish_heap and finish_heap[0][0] <= until:
+                finish, version, job_id = heapq.heappop(finish_heap)
+                state = running.get(job_id)
+                if state is None or state.version != version:
+                    continue  # superseded by a re-allocation
+                del running[job_id]
+                free += state.tokens
+                outcomes.append(
+                    QueueOutcome(
+                        job_id=job_id,
+                        arrival_time=state.job.arrival_time,
+                        start_time=state.start,
+                        finish_time=state.finish,
+                        tokens=state.tokens,
+                        token_seconds=state.held
+                        + state.tokens * (state.finish - state.last_change),
+                    )
+                )
+
+        def next_finish() -> float | None:
+            while finish_heap:
+                finish, version, job_id = finish_heap[0]
+                state = running.get(job_id)
+                if state is None or state.version != version:
+                    heapq.heappop(finish_heap)
+                    continue
+                return finish
+            return None
+
+        while next_arrival < len(arrivals) or running or waiting:
+            if not running and not waiting:
+                clock = max(clock, arrivals[next_arrival].arrival_time)
+            while (
+                next_arrival < len(arrivals)
+                and arrivals[next_arrival].arrival_time <= clock
+            ):
+                waiting.append(arrivals[next_arrival])
+                next_arrival += 1
+            release_finished(clock)
+
+            # Admit the longest FCFS prefix whose floors fit, and let
+            # the allocator divide the free pool among exactly those
+            # jobs (running jobs keep their guaranteed grants).
+            admitted: list[FleetJob] = []
+            needed = 0
+            for job in waiting:
+                if needed + job.demand.min_tokens > free:
+                    break
+                admitted.append(job)
+                needed += job.demand.min_tokens
+            if admitted:
+                allocation = self.allocator.allocate(
+                    [job.demand for job in admitted], cap=free
+                )
+                for job, grant in zip(admitted, allocation.grants):
+                    waiting.popleft()
+                    runtime = job.runtime_at(grant.tokens)
+                    state = _Running(
+                        job=job,
+                        tokens=grant.tokens,
+                        start=clock,
+                        finish=clock + runtime,
+                        last_change=clock,
+                    )
+                    running[job.job_id] = state
+                    heapq.heappush(
+                        finish_heap, (state.finish, 0, job.job_id)
+                    )
+                    free -= grant.tokens
+            elif (
+                self.reallocate_running
+                and not waiting
+                and running
+                and free > 0
+            ):
+                reallocations += self._top_up_running(
+                    running, finish_heap, clock, free
+                )
+                free = self.capacity - sum(
+                    s.tokens for s in running.values()
+                )
+
+            peak_committed = max(peak_committed, self.capacity - free)
+            if free < 0:
+                raise FleetError("scheduler over-committed the pool")
+
+            upcoming = []
+            if next_arrival < len(arrivals):
+                upcoming.append(arrivals[next_arrival].arrival_time)
+            finish = next_finish()
+            if finish is not None:
+                upcoming.append(finish)
+            if not upcoming:
+                if waiting:
+                    raise ExecutionError(
+                        "deadlock: insufficient capacity with no "
+                        "running jobs"
+                    )
+                break
+            clock = max(clock, min(upcoming))
+
+        release_finished(clock)
+        return FleetReport(
+            outcomes=tuple(
+                sorted(outcomes, key=lambda o: (o.start_time, o.job_id))
+            ),
+            capacity=self.capacity,
+            policy=self.allocator.policy.name,
+            peak_committed_tokens=peak_committed,
+            reallocations=reallocations,
+        )
+
+    def _top_up_running(
+        self,
+        running: dict[str, _Running],
+        finish_heap: list[tuple[float, int, str]],
+        clock: float,
+        free: int,
+    ) -> int:
+        """Grant idle tokens to running jobs; returns jobs re-granted.
+
+        A job that has held ``g`` tokens and would finish at ``f`` keeps
+        its elapsed progress; the *remaining* run time is rescaled by
+        the PCC-predicted speed-up ``runtime(g') / runtime(g)`` of the
+        bigger grant ``g'``.
+        """
+        states = list(running.values())
+        demands = []
+        for state in states:
+            if state.tokens >= state.job.demand.max_tokens:
+                continue
+            demands.append(
+                JobDemand(
+                    job_id=state.job.job_id,
+                    pcc=state.job.demand.pcc,
+                    min_tokens=state.tokens,
+                    max_tokens=state.job.demand.max_tokens,
+                )
+            )
+        if not demands:
+            return 0
+        committed = sum(s.tokens for s in states)
+        allocation = self.allocator.allocate(
+            demands, cap=free + sum(d.min_tokens for d in demands)
+        )
+        regranted = 0
+        for grant in allocation.grants:
+            state = running[grant.job_id]
+            if grant.tokens <= state.tokens:
+                continue
+            speedup = state.job.demand.pcc.runtime(grant.tokens) / (
+                state.job.demand.pcc.runtime(state.tokens)
+            )
+            remaining = max(0.0, state.finish - clock) * float(speedup)
+            state.held += state.tokens * (clock - state.last_change)
+            state.last_change = clock
+            state.tokens = grant.tokens
+            state.finish = clock + remaining
+            state.version += 1
+            heapq.heappush(
+                finish_heap, (state.finish, state.version, grant.job_id)
+            )
+            regranted += 1
+        return regranted

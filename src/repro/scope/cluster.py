@@ -50,12 +50,31 @@ class QueuedJob:
 
 @dataclass(frozen=True)
 class QueueOutcome:
-    """When one job started and finished."""
+    """When one job started and finished, and what it was granted.
+
+    ``tokens`` is the job's granted allocation — for the plain FCFS queue
+    that is simply the requested size, but schedulers that choose grants
+    themselves (``repro.fleet``) record the allocator's final decision
+    here. ``token_seconds`` defaults to ``tokens`` held for the whole
+    run; schedulers whose grants change mid-run pass the exactly
+    integrated holdings instead.
+    """
 
     job_id: str
     arrival_time: float
     start_time: float
     finish_time: float
+    tokens: int
+    #: Tokens held x seconds held: the job's slice of the pool.
+    token_seconds: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.token_seconds < 0:
+            object.__setattr__(
+                self,
+                "token_seconds",
+                self.tokens * (self.finish_time - self.start_time),
+            )
 
     @property
     def wait_time(self) -> float:
@@ -69,7 +88,12 @@ class QueueOutcome:
 
 @dataclass(frozen=True)
 class QueueReport:
-    """Aggregate queueing statistics for one simulated stream."""
+    """Aggregate queueing statistics for one simulated stream.
+
+    ``capacity`` is denominated in *tokens* (the guaranteed-token pool of
+    the paper's Section 1), not job slots: a job occupies ``tokens`` of
+    it for its whole run.
+    """
 
     outcomes: tuple[QueueOutcome, ...]
     capacity: int
@@ -95,6 +119,16 @@ class QueueReport:
     @property
     def makespan(self) -> float:
         return float(max(o.finish_time for o in self.outcomes))
+
+    @property
+    def total_token_seconds(self) -> float:
+        """Token-seconds held across the stream (the paper's cost unit)."""
+        return float(sum(o.token_seconds for o in self.outcomes))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's token-seconds actually held by jobs."""
+        return self.total_token_seconds / (self.capacity * self.makespan)
 
 
 class ClusterQueue:
@@ -153,6 +187,7 @@ class ClusterQueue:
                     arrival_time=job.arrival_time,
                     start_time=start,
                     finish_time=finish,
+                    tokens=job.tokens,
                 )
             )
         return QueueReport(outcomes=tuple(outcomes), capacity=self.capacity)

@@ -46,6 +46,10 @@ import threading
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.fleet.allocator import GlobalAllocator
 
 from repro.exceptions import ReproError, ServingError
 from repro.obs import trace
@@ -198,6 +202,15 @@ class AllocationServer:
     monitor, metrics:
         Bring-your-own monitor/registry, e.g. shared across servers;
         fresh instances are created by default.
+    allocator:
+        Optional :class:`~repro.fleet.allocator.GlobalAllocator` (or
+        anything exposing ``budget_recommendations``). When set, each
+        scored micro-batch is re-budgeted globally: if the batch's
+        combined recommended tokens exceed the allocator's cluster cap,
+        grants are squeezed so the in-flight batch as a whole fits.
+        Raw (un-budgeted) recommendations still populate the cache —
+        budgeting depends on batch composition, which must not leak
+        into answers for future traffic.
     clock:
         Injectable monotonic clock for tests.
     """
@@ -213,6 +226,7 @@ class AllocationServer:
         fallback: FallbackPolicy | None = None,
         monitor: PredictionMonitor | None = None,
         metrics: MetricsRegistry | None = None,
+        allocator: "GlobalAllocator | None" = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if store is not None and model_name is None:
@@ -224,6 +238,7 @@ class AllocationServer:
         self._model_version: int | None = None
         self._last_model_check = 0.0
         self._clock = clock
+        self._allocator = allocator
         self.monitor = monitor or PredictionMonitor()
         self.metrics = metrics or MetricsRegistry()
         if fallback is not None:
@@ -474,8 +489,11 @@ class AllocationServer:
             max(0.0, self._clock() - scoring_started)
         )
         self.breaker.record_success()
-        for pending, recommendation in zip(live, recommendations):
-            self._succeed(pending, recommendation)
+        granted = self._budget(recommendations)
+        for pending, recommendation, final in zip(
+            live, recommendations, granted
+        ):
+            self._succeed(pending, recommendation, final)
 
     def _retry_individually(self, live: list[_Pending], features: list) -> None:
         for pending, plan_features in zip(live, features):
@@ -494,20 +512,56 @@ class AllocationServer:
                 self._fallback(pending, "model_error")
             else:
                 self.breaker.record_success()
-                self._succeed(pending, recommendation)
+                self._succeed(
+                    pending,
+                    recommendation,
+                    self._budget([recommendation])[0],
+                )
 
     # ------------------------------------------------------------------
     # resolution helpers
     # ------------------------------------------------------------------
+    def _budget(
+        self, recommendations: list[TokenRecommendation]
+    ) -> list[TokenRecommendation]:
+        """Globally re-budget one scored batch under the cluster cap."""
+        if self._allocator is None:
+            return recommendations
+        with trace.span("serving.fleet_budget", batch=len(recommendations)):
+            try:
+                granted = self._allocator.budget_recommendations(
+                    recommendations
+                )
+            except ReproError:
+                # Budgeting is an optimization, never an availability
+                # risk: an allocator failure degrades to the per-job
+                # answers instead of failing the batch.
+                self.metrics.counter("fleet_budget_errors").increment()
+                return recommendations
+        squeezed = sum(
+            1
+            for raw, final in zip(recommendations, granted)
+            if final.optimal_tokens != raw.optimal_tokens
+        )
+        if squeezed:
+            self.metrics.counter("fleet_budgeted").increment(squeezed)
+        return granted
+
     def _succeed(
-        self, pending: _Pending, recommendation: TokenRecommendation
+        self,
+        pending: _Pending,
+        recommendation: TokenRecommendation,
+        granted: TokenRecommendation | None = None,
     ) -> None:
+        # Cache the raw per-job recommendation: the budgeted grant is a
+        # property of this batch's contention, not of the plan.
         self.recommendation_cache.put(
             pending.signature, pending.requested_tokens, recommendation
         )
         self._finish(
             pending.future, pending.plan.job_id, ResponseStatus.OK,
-            recommendation, None, pending.submitted_at,
+            granted if granted is not None else recommendation,
+            None, pending.submitted_at,
         )
 
     def _fallback(self, pending: _Pending, reason: str) -> None:

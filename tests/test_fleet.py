@@ -1,0 +1,626 @@
+"""Tests for repro.fleet: global allocation, scheduling, evaluation.
+
+The allocator's promise is simple — never exceed the cap, never leave a
+demand outside its bounds, and spend spare tokens where the predicted
+PCCs say they buy the most run time. These tests check that promise
+policy by policy, then through the scheduler, the evaluation harness,
+and the serving integration.
+"""
+
+import dataclasses
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExecutionError, FittingError, FleetError
+from repro.fleet import (
+    BASELINE_NAMES,
+    POLICY_NAMES,
+    CandidateGrid,
+    DeadlineAwarePolicy,
+    FleetJob,
+    FleetReport,
+    FleetScheduler,
+    GlobalAllocator,
+    JobDemand,
+    KnapsackPolicy,
+    WaterFillingPolicy,
+    build_demands,
+    compare_policies,
+    make_policy,
+    pcc_grids,
+    score_usable,
+    skyline_grid,
+    token_grid,
+)
+from repro.pcc.curve import PowerLawPCC
+from repro.scope.cluster import QueueOutcome, QueueReport
+from repro.tasq.pipeline import TokenRecommendation
+
+
+def demand(job_id, a=-0.8, b=500.0, lo=1, hi=256, deadline=None):
+    return JobDemand(
+        job_id=job_id,
+        pcc=PowerLawPCC(a=a, b=b),
+        min_tokens=lo,
+        max_tokens=hi,
+        deadline=deadline,
+    )
+
+
+def total_runtime(demands, grants):
+    return float(
+        sum(d.pcc.runtime(int(g)) for d, g in zip(demands, grants))
+    )
+
+
+def brute_force_optimum(demands, cap):
+    """Exhaustive integer optimum — only for tiny instances."""
+    ranges = [
+        range(d.min_tokens, d.max_tokens + 1) for d in demands
+    ]
+    best = None
+    for grants in itertools.product(*ranges):
+        if sum(grants) > cap:
+            continue
+        runtime = total_runtime(demands, grants)
+        if best is None or runtime < best:
+            best = runtime
+    return best
+
+
+class TestJobDemand:
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            demand("a", lo=0)
+        with pytest.raises(FleetError):
+            demand("a", lo=10, hi=5)
+        with pytest.raises(FleetError):
+            demand("a", a=0.3)  # increasing PCC
+        with pytest.raises(FleetError):
+            demand("a", deadline=0.0)
+
+
+class TestWaterFilling:
+    def test_symmetric_jobs_split_evenly(self):
+        demands = [demand(f"j{i}", a=-0.8, hi=100) for i in range(4)]
+        grants = WaterFillingPolicy().allocate(demands, cap=120)
+        assert list(grants) == [30, 30, 30, 30]
+
+    def test_ample_cap_grants_maximums(self):
+        demands = [demand("a", hi=40), demand("b", hi=60)]
+        grants = WaterFillingPolicy().allocate(demands, cap=500)
+        assert list(grants) == [40, 60]
+
+    def test_contended_cap_is_fully_spent(self):
+        demands = [demand(f"j{i}", a=-0.5 - 0.1 * i) for i in range(3)]
+        grants = WaterFillingPolicy().allocate(demands, cap=100)
+        assert int(np.sum(grants)) == 100
+
+    def test_near_optimal_on_concave_curves(self):
+        demands = [
+            demand("steep", a=-0.9, b=300.0, lo=1, hi=12),
+            demand("mid", a=-0.5, b=500.0, lo=2, hi=12),
+            demand("shallow", a=-0.2, b=800.0, lo=1, hi=12),
+        ]
+        cap = 18
+        grants = WaterFillingPolicy().allocate(demands, cap)
+        achieved = total_runtime(demands, grants)
+        optimum = brute_force_optimum(demands, cap)
+        assert achieved <= optimum * 1.01
+
+    def test_marginal_gains_equalized_at_interior_solution(self):
+        # KKT: interior grants share one multiplier, so the marginal
+        # run-time gain of the next token is (nearly) equal across jobs.
+        demands = [
+            demand("a", a=-0.9, b=300.0, hi=10_000),
+            demand("b", a=-0.6, b=900.0, hi=10_000),
+        ]
+        grants = WaterFillingPolicy().allocate(demands, cap=400)
+        gains = [
+            d.pcc.runtime(g) - d.pcc.runtime(g + 1)
+            for d, g in zip(demands, grants)
+        ]
+        assert gains[0] == pytest.approx(gains[1], rel=0.05)
+
+    def test_flat_curves_get_minimums(self):
+        demands = [demand(f"j{i}", a=0.0, lo=3, hi=50) for i in range(3)]
+        grants = WaterFillingPolicy().allocate(demands, cap=60)
+        assert list(grants) == [3, 3, 3]
+
+    def test_respects_bounds(self):
+        demands = [demand("tiny", lo=2, hi=4), demand("big", lo=5, hi=90)]
+        grants = WaterFillingPolicy().allocate(demands, cap=50)
+        for d, g in zip(demands, grants):
+            assert d.min_tokens <= g <= d.max_tokens
+
+
+class TestKnapsack:
+    def test_feasible_under_cap(self):
+        demands = [demand(f"j{i}", a=-0.4 - 0.2 * i) for i in range(4)]
+        cap = 200
+        grants = KnapsackPolicy().allocate(demands, cap)
+        assert int(np.sum(grants)) <= cap
+        for d, g in zip(demands, grants):
+            assert d.min_tokens <= g <= d.max_tokens
+
+    def test_upgrades_improve_on_minimums(self):
+        demands = [demand("a", hi=64), demand("b", a=-0.3, hi=64)]
+        grants = KnapsackPolicy().allocate(demands, cap=80)
+        floor_runtime = total_runtime(
+            demands, [d.min_tokens for d in demands]
+        )
+        assert total_runtime(demands, grants) < floor_runtime
+
+    def test_near_optimal_on_tiny_instance(self):
+        demands = [
+            demand("steep", a=-0.9, b=300.0, lo=1, hi=12),
+            demand("shallow", a=-0.2, b=800.0, lo=1, hi=12),
+        ]
+        cap = 16
+        grants = KnapsackPolicy(num_points=12).allocate(demands, cap)
+        achieved = total_runtime(demands, grants)
+        optimum = brute_force_optimum(demands, cap)
+        assert achieved <= optimum * 1.05
+
+    def test_uses_provided_grid(self):
+        grid = CandidateGrid(
+            tokens=np.array([4, 8, 16], dtype=np.int64),
+            runtimes=np.array([100.0, 60.0, 40.0]),
+        )
+        d = dataclasses.replace(demand("a", lo=4, hi=16), grid=grid)
+        grants = KnapsackPolicy().allocate([d], cap=100)
+        assert grants[0] in (4, 8, 16)
+
+    def test_rejects_grid_outside_demand_bounds(self):
+        grid = CandidateGrid(
+            tokens=np.array([1, 8], dtype=np.int64),
+            runtimes=np.array([100.0, 60.0]),
+        )
+        d = dataclasses.replace(demand("a", lo=4, hi=16), grid=grid)
+        with pytest.raises(FleetError):
+            KnapsackPolicy().allocate([d], cap=100)
+
+
+class TestDeadlineAware:
+    def test_floors_raised_to_meet_deadlines(self):
+        # runtime(A) = 1000 * A^-1: needs A >= 50 for a 20 s deadline.
+        demands = [
+            demand("a", a=-1.0, b=1000.0, hi=200, deadline=20.0),
+            demand("b", a=-1.0, b=1000.0, hi=200, deadline=40.0),
+        ]
+        grants = DeadlineAwarePolicy().allocate(demands, cap=300)
+        for d, g in zip(demands, grants):
+            assert d.pcc.runtime(int(g)) <= d.deadline + 1e-9
+
+    def test_graceful_fallback_when_jointly_infeasible(self):
+        # Each job alone could meet its deadline, but not both under
+        # the cap: the policy must degrade, never raise.
+        demands = [
+            demand("a", a=-1.0, b=1000.0, hi=200, deadline=10.0),
+            demand("b", a=-1.0, b=1000.0, hi=200, deadline=10.0),
+        ]
+        grants = DeadlineAwarePolicy().allocate(demands, cap=120)
+        assert int(np.sum(grants)) <= 120
+        for d, g in zip(demands, grants):
+            assert d.min_tokens <= g <= d.max_tokens
+
+    def test_individually_infeasible_deadline_keeps_bounds(self):
+        # Even max_tokens misses the deadline: the job keeps its
+        # original bounds instead of demanding the impossible.
+        demands = [
+            demand("hopeless", a=-1.0, b=1000.0, hi=20, deadline=1.0),
+            demand("fine", a=-1.0, b=1000.0, hi=200, deadline=100.0),
+        ]
+        grants = DeadlineAwarePolicy().allocate(demands, cap=100)
+        assert int(np.sum(grants)) <= 100
+
+
+class TestGlobalAllocator:
+    def test_validates_inputs(self):
+        allocator = GlobalAllocator(100)
+        with pytest.raises(FleetError):
+            allocator.allocate([])
+        with pytest.raises(FleetError):
+            allocator.allocate([demand("dup"), demand("dup")])
+        with pytest.raises(FleetError):
+            allocator.allocate([demand("a", lo=80), demand("b", lo=80)])
+
+    def test_allocation_accounting(self):
+        allocator = GlobalAllocator(100, policy="water_filling")
+        allocation = allocator.allocate(
+            [demand("a", hi=30), demand("b", hi=30)]
+        )
+        assert allocation.total_tokens == 60
+        assert allocation.spare_tokens == 40
+        by_job = allocation.by_job()
+        assert set(by_job) == {"a", "b"}
+        for grant in allocation.grants:
+            d = next(
+                x for x in [demand("a", hi=30), demand("b", hi=30)]
+                if x.job_id == grant.job_id
+            )
+            assert grant.predicted_runtime == pytest.approx(
+                d.pcc.runtime(grant.tokens)
+            )
+
+    def test_make_policy_registry(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+        with pytest.raises(FleetError):
+            make_policy("simulated_annealing")
+
+
+@st.composite
+def demand_sets(draw):
+    n = draw(st.integers(1, 6))
+    demands = []
+    for i in range(n):
+        a = draw(
+            st.floats(-1.5, -0.05, allow_nan=False, allow_infinity=False)
+        )
+        b = draw(
+            st.floats(1.0, 1000.0, allow_nan=False, allow_infinity=False)
+        )
+        lo = draw(st.integers(1, 8))
+        hi = lo + draw(st.integers(0, 64))
+        deadline = draw(
+            st.one_of(st.none(), st.floats(0.5, 5000.0, allow_nan=False))
+        )
+        demands.append(
+            JobDemand(
+                job_id=f"j{i}",
+                pcc=PowerLawPCC(a=a, b=b),
+                min_tokens=lo,
+                max_tokens=hi,
+                deadline=deadline,
+            )
+        )
+    cap = sum(d.min_tokens for d in demands) + draw(st.integers(0, 128))
+    return demands, cap
+
+
+class TestPolicyProperties:
+    @given(case=demand_sets(), name=st.sampled_from(POLICY_NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_no_policy_exceeds_cap_or_bounds(self, case, name):
+        demands, cap = case
+        # GlobalAllocator.allocate post-validates every grant against
+        # the demand bounds and the cap, raising FleetError on any
+        # violation — so surviving the call IS the assertion.
+        allocation = GlobalAllocator(cap, policy=name).allocate(demands)
+        assert allocation.total_tokens <= cap
+
+
+def fleet_job(job_id, arrival, lo=1, hi=64, runtime=None, a=-0.8, b=500.0):
+    return FleetJob(
+        job_id=job_id,
+        arrival_time=arrival,
+        demand=demand(job_id, a=a, b=b, lo=lo, hi=hi),
+        runtime_fn=(None if runtime is None else (lambda tokens: runtime)),
+    )
+
+
+class TestFleetScheduler:
+    def test_validation(self):
+        scheduler = FleetScheduler(capacity=10)
+        with pytest.raises(ExecutionError):
+            scheduler.run([])
+        with pytest.raises(ExecutionError):
+            scheduler.run([fleet_job("big", 0, lo=11)])
+
+    def test_uncontended_jobs_get_maximums(self):
+        scheduler = FleetScheduler(capacity=1000)
+        report = scheduler.run(
+            [fleet_job("a", 0, hi=64), fleet_job("b", 0, hi=32)]
+        )
+        grants = {o.job_id: o.tokens for o in report.outcomes}
+        assert grants == {"a": 64, "b": 32}
+        assert report.mean_wait == 0.0
+
+    def test_contended_admission_squeezes_grants(self):
+        scheduler = FleetScheduler(capacity=40)
+        report = scheduler.run(
+            [fleet_job("a", 0, hi=64), fleet_job("b", 0, hi=64)]
+        )
+        assert sum(o.tokens for o in report.outcomes) <= 40
+        assert report.mean_wait == 0.0  # both admitted immediately
+        assert report.peak_committed_tokens <= 40
+
+    def test_fcfs_order_preserved(self):
+        # The first waiting job's floor does not fit, so the later
+        # small job must NOT jump the queue (no backfilling).
+        scheduler = FleetScheduler(capacity=10)
+        report = scheduler.run(
+            [
+                fleet_job("hog", 0.0, lo=10, hi=10, runtime=100.0),
+                fleet_job("big", 1.0, lo=8, hi=10, runtime=10.0),
+                fleet_job("small", 2.0, lo=1, hi=2, runtime=10.0),
+            ]
+        )
+        starts = {o.job_id: o.start_time for o in report.outcomes}
+        assert starts["big"] == 100.0
+        assert starts["small"] >= starts["big"]
+
+    def test_reallocation_conserves_budget(self):
+        scheduler = FleetScheduler(
+            capacity=100, reallocate_running=True
+        )
+        jobs = [
+            fleet_job(f"j{i}", float(5 * i), lo=5, hi=80)
+            for i in range(8)
+        ]
+        report = scheduler.run(jobs)
+        assert report.reallocations > 0
+        assert report.peak_committed_tokens <= 100
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_reallocation_never_slows_the_cluster(self):
+        jobs = [
+            fleet_job(f"j{i}", float(3 * i), lo=4, hi=90)
+            for i in range(10)
+        ]
+        static = FleetScheduler(capacity=120).run(jobs)
+        adaptive = FleetScheduler(
+            capacity=120, reallocate_running=True
+        ).run(jobs)
+        assert adaptive.makespan <= static.makespan + 1e-9
+
+    def test_runtime_fn_drives_durations(self):
+        scheduler = FleetScheduler(capacity=50)
+        report = scheduler.run([fleet_job("a", 0.0, runtime=42.0)])
+        outcome = report.outcomes[0]
+        assert outcome.finish_time - outcome.start_time == 42.0
+
+    def test_report_carries_fleet_metadata(self):
+        report = FleetScheduler(capacity=50, policy="knapsack").run(
+            [fleet_job("a", 0.0)]
+        )
+        assert isinstance(report, FleetReport)
+        assert isinstance(report, QueueReport)
+        assert report.policy == "knapsack"
+
+
+class TestTokenSecondsAccounting:
+    def test_outcome_defaults_to_full_run_holding(self):
+        outcome = QueueOutcome(
+            job_id="a",
+            arrival_time=0.0,
+            start_time=2.0,
+            finish_time=12.0,
+            tokens=5,
+        )
+        assert outcome.token_seconds == 50.0
+
+    def test_outcome_accepts_integrated_holdings(self):
+        outcome = QueueOutcome(
+            job_id="a",
+            arrival_time=0.0,
+            start_time=0.0,
+            finish_time=10.0,
+            tokens=8,
+            token_seconds=35.0,
+        )
+        assert outcome.token_seconds == 35.0
+
+    def test_report_totals_and_utilization(self):
+        report = QueueReport(
+            outcomes=(
+                QueueOutcome("a", 0.0, 0.0, 10.0, tokens=5),
+                QueueOutcome("b", 0.0, 0.0, 10.0, tokens=5),
+            ),
+            capacity=20,
+        )
+        assert report.total_token_seconds == 100.0
+        assert report.utilization == pytest.approx(0.5)
+
+    def test_scheduler_utilization_stays_physical_under_topups(self):
+        # Re-allocation raises grants mid-run; the integrated holdings
+        # must never exceed what the pool could physically supply.
+        scheduler = FleetScheduler(
+            capacity=60, reallocate_running=True
+        )
+        jobs = [
+            fleet_job(f"j{i}", float(2 * i), lo=3, hi=60)
+            for i in range(6)
+        ]
+        report = scheduler.run(jobs)
+        assert report.total_token_seconds <= (
+            report.capacity * report.makespan
+        ) * (1 + 1e-9)
+
+
+class TestCandidateGrids:
+    def test_token_grid_endpoints_and_order(self):
+        grid = token_grid(4, 256, num_points=10)
+        assert grid[0] == 4 and grid[-1] == 256
+        assert np.all(np.diff(grid) > 0)
+
+    def test_pcc_grids_match_direct_evaluation(self):
+        a = np.array([-0.8, -0.3])
+        b = np.array([500.0, 900.0])
+        lo = np.array([2, 4])
+        hi = np.array([64, 128])
+        grids = pcc_grids(a, b, lo, hi, num_points=8)
+        assert len(grids) == 2
+        for i, grid in enumerate(grids):
+            expected = b[i] * np.power(
+                grid.tokens.astype(float), a[i]
+            )
+            np.testing.assert_allclose(grid.runtimes, expected)
+
+    def test_skyline_grid_is_monotone(self, peaky_skyline):
+        grid = skyline_grid(peaky_skyline, 2, 120, num_points=12)
+        assert np.all(np.diff(grid.runtimes) <= 1e-12)
+        assert grid.min_tokens >= 2 and grid.max_tokens <= 120
+
+    def test_concave_steps_have_decreasing_gains(self):
+        grid = CandidateGrid(
+            tokens=np.array([1, 2, 4, 8, 16], dtype=np.int64),
+            runtimes=np.array([100.0, 60.0, 40.0, 30.0, 26.0]),
+        )
+        steps = grid.concave_steps()
+        gains = [gain for _, _, gain in steps]
+        assert gains == sorted(gains, reverse=True)
+        assert all(gain > 0 for gain in gains)
+
+    def test_grid_validation(self):
+        with pytest.raises(FleetError):
+            CandidateGrid(
+                tokens=np.array([4, 2], dtype=np.int64),
+                runtimes=np.array([1.0, 2.0]),
+            )
+        with pytest.raises(FleetError):
+            CandidateGrid(
+                tokens=np.array([2, 4], dtype=np.int64),
+                runtimes=np.array([1.0, -2.0]),
+            )
+
+
+def recommendation(job_id, requested, optimal, a=-0.8, b=500.0):
+    pcc = PowerLawPCC(a=a, b=b)
+    return TokenRecommendation(
+        job_id=job_id,
+        pcc=pcc,
+        requested_tokens=requested,
+        optimal_tokens=optimal,
+        predicted_runtime_at_requested=float(pcc.runtime(requested)),
+        predicted_runtime_at_optimal=float(pcc.runtime(optimal)),
+    )
+
+
+class TestBudgetRecommendations:
+    def test_fast_path_returns_inputs_unchanged(self):
+        allocator = GlobalAllocator(100)
+        recs = [recommendation("a", 100, 40), recommendation("b", 100, 50)]
+        assert allocator.budget_recommendations(recs) == recs
+
+    def test_squeeze_path_fits_cap_and_stays_consistent(self):
+        allocator = GlobalAllocator(60)
+        recs = [recommendation("a", 100, 50), recommendation("b", 100, 40)]
+        granted = allocator.budget_recommendations(recs)
+        total = sum(r.optimal_tokens for r in granted)
+        assert total <= 60
+        for raw, final in zip(recs, granted):
+            assert 1 <= final.optimal_tokens <= raw.optimal_tokens
+            assert final.predicted_runtime_at_optimal == pytest.approx(
+                float(raw.pcc.runtime(final.optimal_tokens))
+            )
+
+
+class TestServingIntegration:
+    def test_server_answers_budgeted_caches_raw(self, workload_jobs):
+        from repro.serving import AllocationServer, ResponseStatus
+
+        class OneShotPipeline:
+            def score_batch(self, plans, requested_tokens, features=None):
+                return [
+                    recommendation(p.job_id, int(t), int(t) // 2)
+                    for p, t in zip(plans, requested_tokens)
+                ]
+
+        plan = workload_jobs[0].plan
+        allocator = GlobalAllocator(20)
+        with AllocationServer(
+            OneShotPipeline(), allocator=allocator
+        ) as server:
+            first = server.request(plan, 100)
+            second = server.request(plan, 100)
+        assert first.status is ResponseStatus.OK
+        assert first.tokens <= 20  # budgeted under the cluster cap
+        # The cache keeps the *raw* per-job answer: a grant squeezed by
+        # one batch's contention must not poison later batches.
+        assert second.status is ResponseStatus.CACHED
+        assert second.tokens == 50
+
+
+class FlakyScorer:
+    """Batch scoring fails; per-job scoring rejects marked plans."""
+
+    def __init__(self, bad_ids):
+        self.bad_ids = set(bad_ids)
+
+    def score_batch(self, plans, requested_tokens, features=None):
+        raise FittingError("increasing PCC in batch")
+
+    def score(self, plan, requested_tokens):
+        if plan.job_id in self.bad_ids:
+            raise FittingError("increasing PCC")
+        return recommendation(plan.job_id, int(requested_tokens), 10)
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def records(self, repository):
+        return [
+            r
+            for r in repository.records()
+            if 2 <= r.requested_tokens <= 600
+        ][:24]
+
+    @pytest.fixture(scope="class")
+    def recommendations(self, records):
+        return [
+            recommendation(
+                r.job_id,
+                r.requested_tokens,
+                max(1, r.requested_tokens // 2),
+                a=-0.7,
+                b=float(
+                    r.runtime / r.requested_tokens ** (-0.7)
+                ),
+            )
+            for r in records
+        ]
+
+    def test_score_usable_drops_unscorable_records(self, records):
+        bad = {records[1].job_id, records[3].job_id}
+        kept, recs = score_usable(FlakyScorer(bad), records)
+        assert len(kept) == len(records) - 2
+        assert [r.job_id for r in kept] == [r.job_id for r in recs]
+        assert not bad.intersection(r.job_id for r in kept)
+
+    def test_build_demands_floors_and_deadlines(
+        self, records, recommendations
+    ):
+        demands = build_demands(
+            records, recommendations, deadline_slack=0.25
+        )
+        for record, rec, d in zip(records, recommendations, demands):
+            assert 1 <= d.min_tokens <= d.max_tokens
+            assert d.max_tokens == record.requested_tokens
+            assert d.deadline == pytest.approx(
+                1.25 * rec.predicted_runtime_at_requested
+            )
+
+    def test_compare_policies_covers_all_regimes(
+        self, records, recommendations
+    ):
+        comparison = compare_policies(
+            records,
+            recommendations,
+            policies=POLICY_NAMES,
+            seed=11,
+        )
+        names = {o.name for o in comparison.outcomes}
+        assert set(BASELINE_NAMES) <= names
+        assert {f"fleet/{p}" for p in POLICY_NAMES} <= names
+        for outcome in comparison.outcomes:
+            assert outcome.makespan > 0
+            assert 0.0 < outcome.utilization <= 1.0
+        payload = comparison.to_json()
+        assert payload["jobs"] == len(records)
+        assert set(payload["policies"]) == names
+        assert "makespan" in comparison.render()
+
+    def test_comparison_get_unknown_name(
+        self, records, recommendations
+    ):
+        comparison = compare_policies(
+            records, recommendations, policies=("water_filling",)
+        )
+        with pytest.raises(FleetError):
+            comparison.get("nonexistent")
