@@ -15,6 +15,10 @@ Subcommands mirror the production workflow of Figure 4:
 * ``fleet`` — replay a repository's jobs through the cluster-level
   global allocator (`repro.fleet`) and compare makespan / wait /
   token-hours across policies and the Default/Peak/TASQ baselines,
+* ``replay`` — arrival-driven multi-tenant replay (`repro.replay`):
+  seeded arrival processes feed jobs through the live allocation
+  server into the shared pool, execute them, and close the loop
+  through the prediction monitor (optionally retraining mid-run),
 * ``trace`` — run any of the above under the observability layer
   (`repro.obs`): span tracing, the shared metrics registry, optional
   cProfile / stack sampling; emits a Chrome-loadable trace JSON and a
@@ -396,6 +400,94 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.replay import (
+        ArrivalSpec,
+        ReplayConfig,
+        ReplayEngine,
+        default_tenants,
+        load_trace,
+        split_round_robin,
+    )
+    from repro.replay.tenants import TenantSpec
+
+    if args.arrival == "trace":
+        if args.trace_file is None:
+            print(
+                "replay: --arrival trace needs --trace-file",
+                file=sys.stderr,
+            )
+            return 2
+        shares = split_round_robin(
+            load_trace(args.trace_file), args.tenants
+        )
+        tenants = tuple(
+            TenantSpec(
+                name=base.name,
+                family=base.family,
+                arrival=ArrivalSpec(kind="trace", trace=share),
+                slo_slowdown=args.slo_slowdown,
+            )
+            for base, share in zip(default_tenants(args.tenants), shares)
+            if share
+        )
+        if not tenants:
+            print("replay: trace file has no timestamps", file=sys.stderr)
+            return 2
+    else:
+        tenants = default_tenants(
+            args.tenants,
+            arrival=ArrivalSpec(
+                kind=args.arrival, mean_gap_s=args.mean_gap
+            ),
+            slo_slowdown=args.slo_slowdown,
+        )
+    if args.family is not None:
+        tenants = tuple(
+            TenantSpec(
+                name=t.name,
+                family=args.family,
+                arrival=t.arrival,
+                slo_slowdown=t.slo_slowdown,
+            )
+            for t in tenants
+        )
+
+    config = ReplayConfig(
+        duration_s=args.duration,
+        policy=args.policy,
+        seed=args.seed,
+        capacity=args.capacity,
+        bootstrap_jobs=args.bootstrap_jobs,
+        slowdown_floor=args.slowdown_floor,
+        admission=args.admission,
+        retrain=args.retrain,
+        workers=args.workers,
+    )
+    print(
+        f"replaying {args.duration:,.0f}s of {args.arrival} arrivals "
+        f"across {len(tenants)} tenant(s) under policy {args.policy} ...",
+        file=sys.stderr,
+    )
+    report = ReplayEngine(config, tenants).run()
+    to_stdout = args.out is not None and str(args.out) == "-"
+    # With --out -, stdout carries only the JSON so it pipes cleanly;
+    # the human table moves to stderr.
+    print(report.render(), file=sys.stderr if to_stdout else sys.stdout)
+    if args.out is not None:
+        payload = (
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        if to_stdout:
+            print(payload, end="")
+        else:
+            args.out.write_text(payload)
+            print(f"(report written to {args.out})")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run another subcommand under the observability layer."""
     from repro.obs.profiling import SamplingProfiler, SpanProfiler
@@ -628,6 +720,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the comparison as JSON to this path",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    replay = sub.add_parser(
+        "replay",
+        help="arrival-driven multi-tenant replay (closed serving loop)",
+        description="Generate seeded multi-tenant arrival streams, ask "
+        "the live allocation server for a recommendation per arriving "
+        "job, admit it into the shared token pool, execute it on the "
+        "cluster simulator, and feed the observed run time back into "
+        "the prediction monitor (docs/replay.md). Identical seeds give "
+        "bit-identical reports at any --workers setting.",
+    )
+    replay.add_argument(
+        "--arrival",
+        choices=["poisson", "diurnal", "bursty", "trace"],
+        default="poisson",
+        help="arrival process family (default: poisson)",
+    )
+    replay.add_argument(
+        "--trace-file", type=Path, default=None,
+        help="timestamps for --arrival trace, one per line",
+    )
+    replay.add_argument(
+        "--tenants", type=int, default=3,
+        help="number of tenants (families rotate tpch/streaming/"
+        "ml_training/etl_skew)",
+    )
+    replay.add_argument(
+        "--family",
+        choices=["tpch", "streaming", "ml_training", "etl_skew"],
+        default=None,
+        help="force every tenant onto one workload family",
+    )
+    replay.add_argument(
+        "--duration", type=float, default=900.0,
+        help="virtual seconds of arrivals to generate (default 900)",
+    )
+    replay.add_argument(
+        "--mean-gap", type=float, default=30.0,
+        help="per-tenant mean inter-arrival gap in seconds (default 30)",
+    )
+    replay.add_argument(
+        "--policy",
+        choices=[
+            "default", "peak", "tasq",
+            "water_filling", "knapsack", "deadline",
+        ],
+        default="water_filling",
+        help="allocation regime (default: water_filling)",
+    )
+    replay.add_argument(
+        "--admission", choices=["fcfs", "backfill"], default="fcfs",
+        help="queue order: strict FCFS or EASY backfill",
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--capacity", type=int, default=None,
+        help="shared token pool; default = the largest single request",
+    )
+    replay.add_argument("--bootstrap-jobs", type=int, default=120)
+    replay.add_argument("--slowdown-floor", type=float, default=0.25)
+    replay.add_argument(
+        "--slo-slowdown", type=float, default=2.0,
+        help="per-tenant SLO: attained when slowdown <= this factor",
+    )
+    replay.add_argument(
+        "--retrain", action="store_true",
+        help="refit + hot-swap the model when the drift monitor fires",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for the bootstrap (output identical "
+        "at any value)",
+    )
+    replay.add_argument(
+        "--out", type=Path, default=None,
+        help="write the report as JSON to this path ('-' = stdout)",
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     traced = sub.add_parser(
         "trace",

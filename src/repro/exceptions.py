@@ -67,3 +67,7 @@ class ObservabilityError(ReproError):
 
 class FleetError(ReproError):
     """Raised by the cluster-level global token allocator and scheduler."""
+
+
+class ReplayError(ReproError):
+    """Raised by the arrival-driven multi-tenant replay harness."""

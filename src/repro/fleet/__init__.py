@@ -33,7 +33,13 @@ from repro.fleet.evaluation import (
     compare_policies,
     score_usable,
 )
-from repro.fleet.scheduler import FleetJob, FleetReport, FleetScheduler
+from repro.fleet.scheduler import (
+    ADMISSION_ORDERS,
+    FleetJob,
+    FleetReport,
+    FleetScheduler,
+    FleetStream,
+)
 
 __all__ = [
     "JobDemand",
@@ -53,6 +59,8 @@ __all__ = [
     "FleetJob",
     "FleetReport",
     "FleetScheduler",
+    "FleetStream",
+    "ADMISSION_ORDERS",
     "PolicyOutcome",
     "FleetComparison",
     "build_demands",

@@ -14,11 +14,28 @@ is first offered to the queued jobs (FCFS, order-preserving, exactly
 like the base queue) and — with ``reallocate_running=True`` — any still
 idle tokens top up *running* jobs, shortening their remaining run time
 proportionally to their PCC's predicted speed-up.
+
+Admission order: the default is the base queue's order-preserving FCFS
+prefix. ``admission="backfill"`` adds EASY backfilling — when the
+head-of-line job is blocked, later jobs may start at their *floor*
+grant provided they cannot delay the head's earliest possible start
+(they either finish, by their own PCC's estimate, before the head's
+shadow time, or they fit in tokens the head will not need then). The
+head is therefore never starved by design, only by optimistic run-time
+estimates — the same guarantee real EASY schedulers give.
+
+The simulation itself is exposed incrementally as :class:`FleetStream`
+(submit arrivals in time order, advance virtual time, collect
+completions); :meth:`FleetScheduler.run` is the batch wrapper. The
+arrival-driven replay harness (``repro.replay``) drives the stream form
+directly so recommendations, admissions, executions, and feedback can
+interleave in virtual-time order.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -29,7 +46,15 @@ from repro.fleet.demand import JobDemand
 from repro.obs import trace
 from repro.scope.cluster import ClusterQueue, QueueOutcome, QueueReport
 
-__all__ = ["FleetJob", "FleetReport", "FleetScheduler"]
+__all__ = [
+    "FleetJob",
+    "FleetReport",
+    "FleetStream",
+    "FleetScheduler",
+    "ADMISSION_ORDERS",
+]
+
+ADMISSION_ORDERS = ("fcfs", "backfill")
 
 
 @dataclass(frozen=True)
@@ -74,6 +99,10 @@ class FleetReport(QueueReport):
     peak_committed_tokens: int
     #: How many times running jobs were topped up from freed tokens.
     reallocations: int
+    #: Jobs admitted past a blocked head-of-line job (EASY backfill).
+    backfills: int = 0
+    #: Admission order the stream ran under.
+    admission: str = "fcfs"
 
 
 @dataclass
@@ -87,6 +116,324 @@ class _Running:
     held: float = 0.0
     #: When the current grant level took effect.
     last_change: float = 0.0
+
+
+class FleetStream:
+    """Incremental fleet simulation over virtual time.
+
+    Usage contract:
+
+    * :meth:`submit` arrivals in non-decreasing ``arrival_time`` order;
+      submissions are buffered, not admitted immediately, so jobs
+      sharing a timestamp are allocated *together* (exactly like the
+      batch scheduler).
+    * :meth:`advance` processes every arrival/completion event up to a
+      virtual time and returns the newly completed outcomes in finish
+      order — the feedback hook for closed-loop callers.
+    * :meth:`drain` runs the simulation to completion; :meth:`report`
+      then summarizes it.
+
+    ``FleetScheduler.run`` is exactly ``submit* -> drain -> report``,
+    and produces bit-identical results to the historical batch loop.
+    """
+
+    def __init__(self, scheduler: "FleetScheduler") -> None:
+        self._scheduler = scheduler
+        self.capacity = scheduler.capacity
+        self._allocator = scheduler.allocator
+        self._reallocate = scheduler.reallocate_running
+        self._admission = scheduler.admission
+        #: Submitted but not yet visible to admission.
+        self._arrivals: deque[FleetJob] = deque()
+        self._waiting: deque[FleetJob] = deque()
+        self._running: dict[str, _Running] = {}
+        # Lazy-deletion heap of (finish, version, job_id): re-allocation
+        # shortens finish times, so stale entries are skipped on pop.
+        self._finish_heap: list[tuple[float, int, str]] = []
+        self._free = scheduler.capacity
+        self._clock = 0.0
+        self._outcomes: list[QueueOutcome] = []
+        self._delivered = 0
+        self._last_arrival = 0.0
+        self._submitted = 0
+        self._peak_committed = 0
+        self._reallocations = 0
+        self._backfills = 0
+
+    # ------------------------------------------------------------------
+    # caller API
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Current virtual time (last processed event)."""
+        return self._clock
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs submitted but not yet finished."""
+        return self._submitted - len(self._outcomes)
+
+    @property
+    def committed_tokens(self) -> int:
+        """Tokens currently held by running jobs."""
+        return self.capacity - self._free
+
+    def submit(self, job: FleetJob) -> None:
+        """Buffer one arrival; admission happens on the next advance."""
+        if job.demand.min_tokens > self.capacity:
+            raise ExecutionError(
+                f"job {job.job_id} needs at least "
+                f"{job.demand.min_tokens} tokens but the cluster only "
+                f"has {self.capacity}"
+            )
+        if job.arrival_time < self._last_arrival:
+            raise ExecutionError(
+                "fleet stream arrivals must be submitted in time order"
+            )
+        self._last_arrival = job.arrival_time
+        self._arrivals.append(job)
+        self._submitted += 1
+
+    def advance(self, until: float) -> list[QueueOutcome]:
+        """Process every event at or before ``until``; return the jobs
+        that completed since the previous call, in finish order."""
+        self._process(until)
+        return self._collect()
+
+    def drain(self) -> list[QueueOutcome]:
+        """Run the simulation to completion."""
+        self._process(math.inf)
+        if self._waiting and not self._running:
+            raise ExecutionError(
+                "deadlock: insufficient capacity with no running jobs"
+            )
+        return self._collect()
+
+    def report(self) -> FleetReport:
+        """Summarize everything completed so far."""
+        if not self._outcomes:
+            raise ExecutionError("no jobs submitted")
+        return FleetReport(
+            outcomes=tuple(
+                sorted(self._outcomes, key=lambda o: (o.start_time, o.job_id))
+            ),
+            capacity=self.capacity,
+            policy=self._allocator.policy.name,
+            peak_committed_tokens=self._peak_committed,
+            reallocations=self._reallocations,
+            backfills=self._backfills,
+            admission=self._admission,
+        )
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def _process(self, until: float) -> None:
+        while True:
+            next_arrival = (
+                self._arrivals[0].arrival_time if self._arrivals else None
+            )
+            next_finish = self._next_finish()
+            event_times = [
+                t
+                for t in (next_arrival, next_finish)
+                if t is not None and t <= until
+            ]
+            if not event_times:
+                return
+            self._clock = max(self._clock, min(event_times))
+            while (
+                self._arrivals
+                and self._arrivals[0].arrival_time <= self._clock
+            ):
+                self._waiting.append(self._arrivals.popleft())
+            self._release_finished(self._clock)
+            self._admit()
+
+    def _collect(self) -> list[QueueOutcome]:
+        new = self._outcomes[self._delivered:]
+        self._delivered = len(self._outcomes)
+        return new
+
+    def _next_finish(self) -> float | None:
+        while self._finish_heap:
+            finish, version, job_id = self._finish_heap[0]
+            state = self._running.get(job_id)
+            if state is None or state.version != version:
+                heapq.heappop(self._finish_heap)
+                continue
+            return finish
+        return None
+
+    def _release_finished(self, until: float) -> None:
+        while self._finish_heap and self._finish_heap[0][0] <= until:
+            finish, version, job_id = heapq.heappop(self._finish_heap)
+            state = self._running.get(job_id)
+            if state is None or state.version != version:
+                continue  # superseded by a re-allocation
+            del self._running[job_id]
+            self._free += state.tokens
+            self._outcomes.append(
+                QueueOutcome(
+                    job_id=job_id,
+                    arrival_time=state.job.arrival_time,
+                    start_time=state.start,
+                    finish_time=state.finish,
+                    tokens=state.tokens,
+                    token_seconds=state.held
+                    + state.tokens * (state.finish - state.last_change),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        # Admit the longest FCFS prefix whose floors fit, and let the
+        # allocator divide the free pool among exactly those jobs
+        # (running jobs keep their guaranteed grants).
+        admitted: list[FleetJob] = []
+        needed = 0
+        for job in self._waiting:
+            if needed + job.demand.min_tokens > self._free:
+                break
+            admitted.append(job)
+            needed += job.demand.min_tokens
+        if admitted:
+            allocation = self._allocator.allocate(
+                [job.demand for job in admitted], cap=self._free
+            )
+            for job, grant in zip(admitted, allocation.grants):
+                self._waiting.popleft()
+                self._start(job, grant.tokens)
+        if (
+            self._admission == "backfill"
+            and self._waiting
+            and self._running
+        ):
+            self._backfill()
+        elif (
+            not admitted
+            and self._reallocate
+            and not self._waiting
+            and self._running
+            and self._free > 0
+        ):
+            self._reallocations += self._top_up_running()
+            self._free = self.capacity - sum(
+                s.tokens for s in self._running.values()
+            )
+
+        self._peak_committed = max(
+            self._peak_committed, self.capacity - self._free
+        )
+        if self._free < 0:
+            raise FleetError("scheduler over-committed the pool")
+
+    def _start(self, job: FleetJob, tokens: int) -> None:
+        runtime = job.runtime_at(tokens)
+        state = _Running(
+            job=job,
+            tokens=tokens,
+            start=self._clock,
+            finish=self._clock + runtime,
+            last_change=self._clock,
+        )
+        self._running[job.job_id] = state
+        heapq.heappush(self._finish_heap, (state.finish, 0, job.job_id))
+        self._free -= tokens
+
+    def _backfill(self) -> None:
+        """EASY backfill behind a blocked head-of-line job.
+
+        The head's *shadow time* is its earliest possible start —
+        when enough running jobs will have released tokens for its
+        floor. A later job may start now, at its floor grant, only if
+        its own PCC predicts it finishes by the shadow time, or it fits
+        entirely in tokens the head will not need then. Either way the
+        head's reservation is (estimate permitting) undisturbed.
+        """
+        head = self._waiting[0]
+        free_future = self._free
+        shadow = None
+        for finish, tokens in sorted(
+            (s.finish, s.tokens) for s in self._running.values()
+        ):
+            free_future += tokens
+            if free_future >= head.demand.min_tokens:
+                shadow = finish
+                break
+        if shadow is None:
+            return  # head is blocked on future *arrivals*, not releases
+        spare_at_shadow = free_future - head.demand.min_tokens
+        started: list[FleetJob] = []
+        for job in list(self._waiting)[1:]:
+            floor = job.demand.min_tokens
+            if floor > self._free:
+                continue
+            predicted = float(job.demand.pcc.runtime(floor))
+            if self._clock + predicted <= shadow:
+                pass  # releases its tokens before the head needs them
+            elif floor <= spare_at_shadow:
+                spare_at_shadow -= floor  # head-spare tokens only
+            else:
+                continue
+            self._start(job, floor)
+            started.append(job)
+            self._backfills += 1
+        for job in started:
+            self._waiting.remove(job)
+
+    def _top_up_running(self) -> int:
+        """Grant idle tokens to running jobs; returns jobs re-granted.
+
+        A job that has held ``g`` tokens and would finish at ``f`` keeps
+        its elapsed progress; the *remaining* run time is rescaled by
+        the PCC-predicted speed-up ``runtime(g') / runtime(g)`` of the
+        bigger grant ``g'``.
+        """
+        states = list(self._running.values())
+        demands = []
+        for state in states:
+            if state.tokens >= state.job.demand.max_tokens:
+                continue
+            demands.append(
+                JobDemand(
+                    job_id=state.job.job_id,
+                    pcc=state.job.demand.pcc,
+                    min_tokens=state.tokens,
+                    max_tokens=state.job.demand.max_tokens,
+                )
+            )
+        if not demands:
+            return 0
+        allocation = self._allocator.allocate(
+            demands, cap=self._free + sum(d.min_tokens for d in demands)
+        )
+        regranted = 0
+        for grant in allocation.grants:
+            state = self._running[grant.job_id]
+            if grant.tokens <= state.tokens:
+                continue
+            speedup = state.job.demand.pcc.runtime(grant.tokens) / (
+                state.job.demand.pcc.runtime(state.tokens)
+            )
+            remaining = max(0.0, state.finish - self._clock) * float(speedup)
+            state.held += state.tokens * (self._clock - state.last_change)
+            state.last_change = self._clock
+            state.tokens = grant.tokens
+            state.finish = self._clock + remaining
+            state.version += 1
+            heapq.heappush(
+                self._finish_heap,
+                (state.finish, state.version, grant.job_id),
+            )
+            regranted += 1
+        return regranted
 
 
 class FleetScheduler(ClusterQueue):
@@ -104,6 +451,9 @@ class FleetScheduler(ClusterQueue):
         When True, tokens left idle after the queue drains are granted
         to running jobs, rescaling their remaining run time by the
         predicted speed-up of the bigger grant.
+    admission:
+        ``"fcfs"`` (order-preserving, the default) or ``"backfill"``
+        (EASY backfill past a blocked head-of-line job).
     """
 
     def __init__(
@@ -112,10 +462,21 @@ class FleetScheduler(ClusterQueue):
         policy: AllocationPolicy | str = "water_filling",
         allocator: GlobalAllocator | None = None,
         reallocate_running: bool = False,
+        admission: str = "fcfs",
     ) -> None:
         super().__init__(capacity)
+        if admission not in ADMISSION_ORDERS:
+            raise FleetError(
+                f"unknown admission order {admission!r}; "
+                f"known: {', '.join(ADMISSION_ORDERS)}"
+            )
         self.allocator = allocator or GlobalAllocator(capacity, policy)
         self.reallocate_running = reallocate_running
+        self.admission = admission
+
+    def stream(self) -> FleetStream:
+        """Open an incremental simulation over this scheduler's pool."""
+        return FleetStream(self)
 
     def run(self, jobs: list[FleetJob]) -> FleetReport:  # type: ignore[override]
         """Simulate the stream with allocator-chosen grants."""
@@ -132,185 +493,10 @@ class FleetScheduler(ClusterQueue):
             "fleet.schedule", jobs=len(jobs),
             policy=self.allocator.policy.name,
         ):
-            return self._run(jobs)
-
-    def _run(self, jobs: list[FleetJob]) -> FleetReport:
-        arrivals = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
-        next_arrival = 0
-        waiting: deque[FleetJob] = deque()
-        running: dict[str, _Running] = {}
-        # Lazy-deletion heap of (finish, version, job_id): re-allocation
-        # shortens finish times, so stale entries are skipped on pop.
-        finish_heap: list[tuple[float, int, str]] = []
-        free = self.capacity
-        clock = 0.0
-        outcomes: list[QueueOutcome] = []
-        peak_committed = 0
-        reallocations = 0
-
-        def release_finished(until: float) -> None:
-            nonlocal free
-            while finish_heap and finish_heap[0][0] <= until:
-                finish, version, job_id = heapq.heappop(finish_heap)
-                state = running.get(job_id)
-                if state is None or state.version != version:
-                    continue  # superseded by a re-allocation
-                del running[job_id]
-                free += state.tokens
-                outcomes.append(
-                    QueueOutcome(
-                        job_id=job_id,
-                        arrival_time=state.job.arrival_time,
-                        start_time=state.start,
-                        finish_time=state.finish,
-                        tokens=state.tokens,
-                        token_seconds=state.held
-                        + state.tokens * (state.finish - state.last_change),
-                    )
-                )
-
-        def next_finish() -> float | None:
-            while finish_heap:
-                finish, version, job_id = finish_heap[0]
-                state = running.get(job_id)
-                if state is None or state.version != version:
-                    heapq.heappop(finish_heap)
-                    continue
-                return finish
-            return None
-
-        while next_arrival < len(arrivals) or running or waiting:
-            if not running and not waiting:
-                clock = max(clock, arrivals[next_arrival].arrival_time)
-            while (
-                next_arrival < len(arrivals)
-                and arrivals[next_arrival].arrival_time <= clock
+            stream = self.stream()
+            for job in sorted(
+                jobs, key=lambda j: (j.arrival_time, j.job_id)
             ):
-                waiting.append(arrivals[next_arrival])
-                next_arrival += 1
-            release_finished(clock)
-
-            # Admit the longest FCFS prefix whose floors fit, and let
-            # the allocator divide the free pool among exactly those
-            # jobs (running jobs keep their guaranteed grants).
-            admitted: list[FleetJob] = []
-            needed = 0
-            for job in waiting:
-                if needed + job.demand.min_tokens > free:
-                    break
-                admitted.append(job)
-                needed += job.demand.min_tokens
-            if admitted:
-                allocation = self.allocator.allocate(
-                    [job.demand for job in admitted], cap=free
-                )
-                for job, grant in zip(admitted, allocation.grants):
-                    waiting.popleft()
-                    runtime = job.runtime_at(grant.tokens)
-                    state = _Running(
-                        job=job,
-                        tokens=grant.tokens,
-                        start=clock,
-                        finish=clock + runtime,
-                        last_change=clock,
-                    )
-                    running[job.job_id] = state
-                    heapq.heappush(
-                        finish_heap, (state.finish, 0, job.job_id)
-                    )
-                    free -= grant.tokens
-            elif (
-                self.reallocate_running
-                and not waiting
-                and running
-                and free > 0
-            ):
-                reallocations += self._top_up_running(
-                    running, finish_heap, clock, free
-                )
-                free = self.capacity - sum(
-                    s.tokens for s in running.values()
-                )
-
-            peak_committed = max(peak_committed, self.capacity - free)
-            if free < 0:
-                raise FleetError("scheduler over-committed the pool")
-
-            upcoming = []
-            if next_arrival < len(arrivals):
-                upcoming.append(arrivals[next_arrival].arrival_time)
-            finish = next_finish()
-            if finish is not None:
-                upcoming.append(finish)
-            if not upcoming:
-                if waiting:
-                    raise ExecutionError(
-                        "deadlock: insufficient capacity with no "
-                        "running jobs"
-                    )
-                break
-            clock = max(clock, min(upcoming))
-
-        release_finished(clock)
-        return FleetReport(
-            outcomes=tuple(
-                sorted(outcomes, key=lambda o: (o.start_time, o.job_id))
-            ),
-            capacity=self.capacity,
-            policy=self.allocator.policy.name,
-            peak_committed_tokens=peak_committed,
-            reallocations=reallocations,
-        )
-
-    def _top_up_running(
-        self,
-        running: dict[str, _Running],
-        finish_heap: list[tuple[float, int, str]],
-        clock: float,
-        free: int,
-    ) -> int:
-        """Grant idle tokens to running jobs; returns jobs re-granted.
-
-        A job that has held ``g`` tokens and would finish at ``f`` keeps
-        its elapsed progress; the *remaining* run time is rescaled by
-        the PCC-predicted speed-up ``runtime(g') / runtime(g)`` of the
-        bigger grant ``g'``.
-        """
-        states = list(running.values())
-        demands = []
-        for state in states:
-            if state.tokens >= state.job.demand.max_tokens:
-                continue
-            demands.append(
-                JobDemand(
-                    job_id=state.job.job_id,
-                    pcc=state.job.demand.pcc,
-                    min_tokens=state.tokens,
-                    max_tokens=state.job.demand.max_tokens,
-                )
-            )
-        if not demands:
-            return 0
-        committed = sum(s.tokens for s in states)
-        allocation = self.allocator.allocate(
-            demands, cap=free + sum(d.min_tokens for d in demands)
-        )
-        regranted = 0
-        for grant in allocation.grants:
-            state = running[grant.job_id]
-            if grant.tokens <= state.tokens:
-                continue
-            speedup = state.job.demand.pcc.runtime(grant.tokens) / (
-                state.job.demand.pcc.runtime(state.tokens)
-            )
-            remaining = max(0.0, state.finish - clock) * float(speedup)
-            state.held += state.tokens * (clock - state.last_change)
-            state.last_change = clock
-            state.tokens = grant.tokens
-            state.finish = clock + remaining
-            state.version += 1
-            heapq.heappush(
-                finish_heap, (state.finish, state.version, grant.job_id)
-            )
-            regranted += 1
-        return regranted
+                stream.submit(job)
+            stream.drain()
+            return stream.report()

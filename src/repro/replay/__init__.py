@@ -1,0 +1,44 @@
+"""Arrival-driven multi-tenant workload replay (closed serving loop).
+
+Jobs arrive from seeded per-tenant arrival processes, get a live token
+recommendation from the :class:`~repro.serving.server.AllocationServer`,
+are admitted into the shared pool by the
+:class:`~repro.fleet.scheduler.FleetScheduler`, execute on the cluster
+simulator, and report their observed run time back through the
+:class:`~repro.tasq.monitoring.PredictionMonitor` — optionally
+triggering retraining and a hot model swap mid-replay. See
+``docs/replay.md`` and ``python -m repro replay``.
+"""
+
+from repro.replay.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    arrival_times,
+    load_trace,
+    split_round_robin,
+)
+from repro.replay.engine import (
+    REPLAY_POLICIES,
+    ReplayConfig,
+    ReplayEngine,
+    run_replay,
+)
+from repro.replay.report import ReplayReport, TenantStats, build_report
+from repro.replay.tenants import TenantSpec, default_tenants
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "arrival_times",
+    "load_trace",
+    "split_round_robin",
+    "TenantSpec",
+    "default_tenants",
+    "REPLAY_POLICIES",
+    "ReplayConfig",
+    "ReplayEngine",
+    "run_replay",
+    "ReplayReport",
+    "TenantStats",
+    "build_report",
+]

@@ -1,0 +1,300 @@
+"""Replay outcome aggregation: per-tenant statistics and timelines.
+
+Everything in a :class:`ReplayReport` is a *virtual-time* quantity
+(arrival/start/finish clocks of the simulated cluster), never wall
+time — which is what makes identically seeded replays bit-identical
+regardless of host speed or worker count. :meth:`ReplayReport.signature`
+hashes the canonical JSON form so tests can assert exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReplayError
+from repro.scope.cluster import QueueOutcome, QueueReport
+
+__all__ = ["TenantStats", "ReplayReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Queueing statistics for one tenant's slice of the replay."""
+
+    tenant: str
+    family: str
+    arrived: int
+    completed: int
+    rejected: int
+    mean_wait: float
+    p50_wait: float
+    p95_wait: float
+    p50_slowdown: float
+    p95_slowdown: float
+    #: Fraction of completed jobs whose slowdown met the tenant's SLO.
+    slo_attainment: float
+
+    def to_json(self) -> dict:
+        return {
+            "family": self.family,
+            "arrived": self.arrived,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "mean_wait_s": round(self.mean_wait, 6),
+            "p50_wait_s": round(self.p50_wait, 6),
+            "p95_wait_s": round(self.p95_wait, 6),
+            "p50_slowdown": round(self.p50_slowdown, 6),
+            "p95_slowdown": round(self.p95_slowdown, 6),
+            "slo_attainment": round(self.slo_attainment, 6),
+        }
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Everything one seeded replay produced, cluster-wide."""
+
+    policy: str
+    admission: str
+    capacity: int
+    seed: int
+    duration_s: float
+    arrived: int
+    completed: int
+    rejected: int
+    makespan: float
+    mean_wait: float
+    p50_wait: float
+    p95_wait: float
+    p50_slowdown: float
+    p95_slowdown: float
+    utilization: float
+    peak_committed_tokens: int
+    reallocations: int
+    backfills: int
+    retrain_events: int
+    #: Server answer mix: status value -> count.
+    response_mix: tuple[tuple[str, int], ...]
+    tenants: tuple[TenantStats, ...]
+    #: Pool utilization per timeline bin (committed token-seconds over
+    #: capacity x bin width), covering [0, makespan].
+    utilization_timeline: tuple[float, ...]
+    #: Rolling median APE of the deployed model, sampled over the
+    #: completion sequence (prediction-error drift; None until the
+    #: monitor has observations).
+    drift_timeline: tuple[float | None, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "policy": self.policy,
+            "admission": self.admission,
+            "capacity_tokens": self.capacity,
+            "seed": self.seed,
+            "duration_s": round(self.duration_s, 6),
+            "arrived": self.arrived,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "makespan_s": round(self.makespan, 6),
+            "mean_wait_s": round(self.mean_wait, 6),
+            "p50_wait_s": round(self.p50_wait, 6),
+            "p95_wait_s": round(self.p95_wait, 6),
+            "p50_slowdown": round(self.p50_slowdown, 6),
+            "p95_slowdown": round(self.p95_slowdown, 6),
+            "utilization": round(self.utilization, 6),
+            "peak_committed_tokens": self.peak_committed_tokens,
+            "reallocations": self.reallocations,
+            "backfills": self.backfills,
+            "retrain_events": self.retrain_events,
+            "responses": dict(self.response_mix),
+            "tenants": {t.tenant: t.to_json() for t in self.tenants},
+            "utilization_timeline": [
+                round(u, 6) for u in self.utilization_timeline
+            ],
+            "drift_timeline": [
+                None if d is None else round(d, 6)
+                for d in self.drift_timeline
+            ],
+        }
+
+    def signature(self) -> str:
+        """Content hash of the canonical JSON form (determinism probe)."""
+        payload = json.dumps(self.to_json(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def render(self) -> str:
+        lines = [
+            f"policy {self.policy} · admission {self.admission} · "
+            f"capacity {self.capacity} tokens · seed {self.seed}",
+            f"arrived {self.arrived} = completed {self.completed} "
+            f"+ rejected {self.rejected} · makespan "
+            f"{self.makespan:,.0f}s · utilization {self.utilization:.0%}",
+            f"wait p50/p95 {self.p50_wait:,.1f}/{self.p95_wait:,.1f}s · "
+            f"slowdown p50/p95 {self.p50_slowdown:.2f}/"
+            f"{self.p95_slowdown:.2f} · backfills {self.backfills} · "
+            f"reallocations {self.reallocations} · "
+            f"retrains {self.retrain_events}",
+            "",
+        ]
+        header = (
+            f"{'tenant':<12} {'family':<12} {'jobs':>5} {'rej':>4} "
+            f"{'mean wait':>10} {'p95 wait':>9} {'p95 slow':>9} "
+            f"{'SLO':>5}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for t in self.tenants:
+            lines.append(
+                f"{t.tenant:<12} {t.family:<12} {t.arrived:>5} "
+                f"{t.rejected:>4} {t.mean_wait:>10,.1f} "
+                f"{t.p95_wait:>9,.1f} {t.p95_slowdown:>9.2f} "
+                f"{t.slo_attainment:>5.0%}"
+            )
+        return "\n".join(lines)
+
+
+def utilization_timeline(
+    outcomes: list[QueueOutcome], capacity: int, bins: int = 24
+) -> tuple[float, ...]:
+    """Committed-token share of the pool per makespan bin.
+
+    Integrates each job's (granted tokens x overlap) into equal-width
+    bins over ``[0, makespan]``. Grants topped up mid-run are credited
+    at their final level — a bounded approximation the fleet report's
+    exact ``token_seconds`` totals keep honest.
+    """
+    if not outcomes:
+        return ()
+    makespan = max(o.finish_time for o in outcomes)
+    if makespan <= 0:
+        return ()
+    edges = np.linspace(0.0, makespan, bins + 1)
+    held = np.zeros(bins)
+    for o in outcomes:
+        overlap = np.clip(
+            np.minimum(o.finish_time, edges[1:])
+            - np.maximum(o.start_time, edges[:-1]),
+            0.0,
+            None,
+        )
+        held += o.tokens * overlap
+    width = makespan / bins
+    return tuple(float(h / (capacity * width)) for h in held)
+
+
+def downsample(
+    series: list[float | None], points: int = 48
+) -> tuple[float | None, ...]:
+    """Thin a long per-completion series to at most ``points`` samples,
+    always keeping the final value."""
+    if len(series) <= points:
+        return tuple(series)
+    idx = np.unique(
+        np.linspace(0, len(series) - 1, points).astype(int)
+    )
+    return tuple(series[i] for i in idx)
+
+
+def build_report(
+    *,
+    policy: str,
+    admission: str,
+    capacity: int,
+    seed: int,
+    duration_s: float,
+    outcomes_by_tenant: dict[str, list[QueueOutcome]],
+    tenant_meta: dict[str, tuple[str, float]],
+    arrivals_by_tenant: dict[str, int],
+    rejected_by_tenant: dict[str, int],
+    peak_committed_tokens: int,
+    reallocations: int,
+    backfills: int,
+    retrain_events: int,
+    response_counts: dict[str, int],
+    drift_series: list[float | None],
+    timeline_bins: int = 24,
+) -> ReplayReport:
+    """Assemble the report from the engine's raw accounting.
+
+    ``tenant_meta`` maps tenant name to ``(family, slo_slowdown)``.
+    """
+    all_outcomes = [
+        o for outs in outcomes_by_tenant.values() for o in outs
+    ]
+    if not all_outcomes:
+        raise ReplayError("replay completed no jobs; nothing to report")
+    cluster = QueueReport(
+        outcomes=tuple(
+            sorted(all_outcomes, key=lambda o: (o.start_time, o.job_id))
+        ),
+        capacity=capacity,
+    )
+
+    tenants = []
+    for name in sorted(outcomes_by_tenant):
+        outs = outcomes_by_tenant[name]
+        family, slo = tenant_meta[name]
+        if outs:
+            slice_report = QueueReport(
+                outcomes=tuple(outs), capacity=capacity
+            )
+            stats = TenantStats(
+                tenant=name,
+                family=family,
+                arrived=arrivals_by_tenant.get(name, 0),
+                completed=len(outs),
+                rejected=rejected_by_tenant.get(name, 0),
+                mean_wait=slice_report.mean_wait,
+                p50_wait=slice_report.p50_wait,
+                p95_wait=slice_report.p95_wait,
+                p50_slowdown=slice_report.p50_slowdown,
+                p95_slowdown=slice_report.p95_slowdown,
+                slo_attainment=float(
+                    np.mean([o.slowdown <= slo for o in outs])
+                ),
+            )
+        else:
+            stats = TenantStats(
+                tenant=name,
+                family=family,
+                arrived=arrivals_by_tenant.get(name, 0),
+                completed=0,
+                rejected=rejected_by_tenant.get(name, 0),
+                mean_wait=0.0,
+                p50_wait=0.0,
+                p95_wait=0.0,
+                p50_slowdown=0.0,
+                p95_slowdown=0.0,
+                slo_attainment=0.0,
+            )
+        tenants.append(stats)
+
+    return ReplayReport(
+        policy=policy,
+        admission=admission,
+        capacity=capacity,
+        seed=seed,
+        duration_s=duration_s,
+        arrived=sum(arrivals_by_tenant.values()),
+        completed=len(all_outcomes),
+        rejected=sum(rejected_by_tenant.values()),
+        makespan=cluster.makespan,
+        mean_wait=cluster.mean_wait,
+        p50_wait=cluster.p50_wait,
+        p95_wait=cluster.p95_wait,
+        p50_slowdown=cluster.p50_slowdown,
+        p95_slowdown=cluster.p95_slowdown,
+        utilization=cluster.utilization,
+        peak_committed_tokens=peak_committed_tokens,
+        reallocations=reallocations,
+        backfills=backfills,
+        retrain_events=retrain_events,
+        response_mix=tuple(sorted(response_counts.items())),
+        tenants=tuple(tenants),
+        utilization_timeline=utilization_timeline(
+            all_outcomes, capacity, bins=timeline_bins
+        ),
+        drift_timeline=downsample(drift_series),
+    )

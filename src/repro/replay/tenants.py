@@ -1,0 +1,70 @@
+"""Tenant profiles: who submits jobs, what kind, and how often.
+
+A tenant bundles a workload family (``repro.scope.generator``'s
+declarative :data:`~repro.scope.generator.WORKLOAD_FAMILIES`), an
+arrival process, and a per-tenant slowdown SLO. The replay engine gives
+each tenant its own deterministic generator and arrival substream, so
+tenants are statistically independent but jointly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReplayError
+from repro.replay.arrivals import ArrivalSpec
+from repro.scope.generator import FAMILY_NAMES
+
+__all__ = ["TenantSpec", "default_tenants"]
+
+#: Family rotation used when tenants are auto-named (tpch first: it is
+#: the repo's canonical workload and the one the bootstrap model sees).
+_FAMILY_ROTATION = ("tpch", "streaming", "ml_training", "etl_skew")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload profile."""
+
+    name: str
+    #: Workload family key (see ``repro.scope.WORKLOAD_FAMILIES``).
+    family: str = "tpch"
+    arrival: ArrivalSpec = ArrivalSpec()
+    #: SLO: a completed job attains its SLO when its slowdown
+    #: (turnaround / run time) is at most this factor.
+    slo_slowdown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReplayError("tenants need a name")
+        if self.family not in FAMILY_NAMES:
+            raise ReplayError(
+                f"unknown workload family {self.family!r}; "
+                f"known: {', '.join(FAMILY_NAMES)}"
+            )
+        if self.slo_slowdown < 1:
+            raise ReplayError("slowdown SLOs below 1 are unattainable")
+
+
+def default_tenants(
+    count: int,
+    arrival: ArrivalSpec | None = None,
+    slo_slowdown: float = 2.0,
+) -> tuple[TenantSpec, ...]:
+    """``count`` tenants cycling through the workload families.
+
+    All tenants share one arrival *spec*; the engine still hands each
+    its own random substream, so their realized timelines differ.
+    """
+    if count < 1:
+        raise ReplayError("need at least one tenant")
+    arrival = arrival or ArrivalSpec()
+    return tuple(
+        TenantSpec(
+            name=f"tenant-{i}",
+            family=_FAMILY_ROTATION[i % len(_FAMILY_ROTATION)],
+            arrival=arrival,
+            slo_slowdown=slo_slowdown,
+        )
+        for i in range(count)
+    )

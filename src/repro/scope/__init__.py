@@ -2,7 +2,14 @@
 
 from repro.scope.cluster import ClusterQueue, QueuedJob, QueueOutcome, QueueReport
 from repro.scope.execution import ClusterExecutor, ExecutionResult
-from repro.scope.generator import JobInstance, WorkloadConfig, WorkloadGenerator
+from repro.scope.generator import (
+    FAMILY_NAMES,
+    WORKLOAD_FAMILIES,
+    JobInstance,
+    WorkloadConfig,
+    WorkloadGenerator,
+    make_family_config,
+)
 from repro.scope.operators import (
     NUM_OPERATOR_KINDS,
     NUM_PARTITIONING_METHODS,
@@ -42,6 +49,9 @@ __all__ = [
     "ExecutionResult",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "WORKLOAD_FAMILIES",
+    "FAMILY_NAMES",
+    "make_family_config",
     "JobInstance",
     "JobRepository",
     "TelemetryRecord",

@@ -85,6 +85,16 @@ class QueueOutcome:
         """Arrival-to-completion latency (wait + run)."""
         return self.finish_time - self.arrival_time
 
+    @property
+    def runtime(self) -> float:
+        """Time actually spent running (start to finish)."""
+        return self.finish_time - self.start_time
+
+    @property
+    def slowdown(self) -> float:
+        """Turnaround normalized by run time (1.0 = no queueing delay)."""
+        return self.turnaround / self.runtime
+
 
 @dataclass(frozen=True)
 class QueueReport:
@@ -108,8 +118,31 @@ class QueueReport:
 
     @property
     def p95_wait(self) -> float:
+        return self.wait_percentile(95)
+
+    @property
+    def p50_wait(self) -> float:
+        return self.wait_percentile(50)
+
+    def wait_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of per-job wait times."""
         return float(
-            np.percentile([o.wait_time for o in self.outcomes], 95)
+            np.percentile([o.wait_time for o in self.outcomes], q)
+        )
+
+    @property
+    def p50_slowdown(self) -> float:
+        return self.slowdown_percentile(50)
+
+    @property
+    def p95_slowdown(self) -> float:
+        return self.slowdown_percentile(95)
+
+    def slowdown_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of per-job slowdowns (turnaround /
+        run time; 1.0 means the job never waited)."""
+        return float(
+            np.percentile([o.slowdown for o in self.outcomes], q)
         )
 
     @property

@@ -32,7 +32,41 @@ from repro.parallel import pmap
 from repro.scope.operators import PartitioningMethod
 from repro.scope.plan import OperatorNode, QueryPlan
 
-__all__ = ["WorkloadConfig", "JobInstance", "WorkloadGenerator"]
+__all__ = [
+    "WorkloadConfig",
+    "JobInstance",
+    "WorkloadGenerator",
+    "WORKLOAD_FAMILIES",
+    "FAMILY_NAMES",
+    "make_family_config",
+]
+
+
+_JOIN_KINDS = (
+    "HashJoin",
+    "MergeJoin",
+    "BroadcastJoin",
+    "SemiJoin",
+    "NestedLoopJoin",
+    "AntiSemiJoin",
+    "UnionAll",
+)
+_JOIN_WEIGHTS = (0.35, 0.2, 0.15, 0.1, 0.05, 0.05, 0.1)
+_SOURCE_KINDS = ("Extract", "TableScan", "IndexScan", "ExternalRead")
+_SOURCE_WEIGHTS = (0.45, 0.3, 0.15, 0.1)
+_CHAIN_KINDS = ("Filter", "RangeFilter", "Project", "ComputeScalar", "ProcessUDO")
+_CHAIN_WEIGHTS = (0.35, 0.15, 0.25, 0.15, 0.1)
+_POST_KINDS = (
+    "HashAggregate",
+    "StreamAggregate",
+    "LocalHashAggregate",
+    "WindowFunction",
+    "ReduceUDO",
+    "Sort",
+    "TopSort",
+    "Top",
+)
+_POST_WEIGHTS = (0.25, 0.1, 0.1, 0.1, 0.1, 0.15, 0.1, 0.1)
 
 
 @dataclass(frozen=True)
@@ -44,8 +78,15 @@ class WorkloadConfig:
     requested tokens yields run-time and peak-token distributions shaped
     like the paper's (right-skewed, median run time of a few minutes,
     median peak tokens a few dozen).
+
+    Every structural distribution the template sampler draws from is a
+    config field, so a workload *family* (streaming micro-batches, ML
+    training pipelines, heavy-skew ETL, ...) is just a different
+    configuration — see :data:`WORKLOAD_FAMILIES`.
     """
 
+    #: Family label this configuration belongs to (informational).
+    family: str = "tpch"
     #: Fraction of jobs instantiated from recurring templates.
     recurring_fraction: float = 0.55
     #: Number of distinct recurring templates in the population.
@@ -68,6 +109,18 @@ class WorkloadConfig:
     default_token_weights: tuple[float, ...] = (
         0.08, 0.20, 0.30, 0.15, 0.12, 0.08, 0.04, 0.02, 0.01,
     )
+    #: Distribution of join-tree width (sampled uniformly, so repeats
+    #: act as weights — matching the historical hard-coded choice list).
+    num_inputs_choices: tuple[int, ...] = (1, 2, 2, 3, 3, 4, 5)
+    #: Half-open range of per-input unary chain lengths.
+    chain_length_range: tuple[int, int] = (0, 4)
+    #: Half-open range of the post-processing block length.
+    post_ops_range: tuple[int, int] = (1, 4)
+    #: Operator-kind mixes (aligned with the module's kind catalogs).
+    join_kind_weights: tuple[float, ...] = _JOIN_WEIGHTS
+    source_kind_weights: tuple[float, ...] = _SOURCE_WEIGHTS
+    chain_kind_weights: tuple[float, ...] = _CHAIN_WEIGHTS
+    post_kind_weights: tuple[float, ...] = _POST_WEIGHTS
 
     def __post_init__(self) -> None:
         if not 0 <= self.recurring_fraction <= 1:
@@ -76,6 +129,27 @@ class WorkloadConfig:
             raise PlanError("need at least one template")
         if len(self.default_token_choices) != len(self.default_token_weights):
             raise PlanError("token choices and weights must align")
+        if not self.num_inputs_choices or min(self.num_inputs_choices) < 1:
+            raise PlanError("num_inputs_choices must be positive")
+        for low, high, label in (
+            (*self.chain_length_range, "chain_length_range"),
+            (*self.post_ops_range, "post_ops_range"),
+        ):
+            if low < 0 or high <= low:
+                raise PlanError(f"{label} must be a non-empty range")
+        for weights, kinds, label in (
+            (self.join_kind_weights, _JOIN_KINDS, "join"),
+            (self.source_kind_weights, _SOURCE_KINDS, "source"),
+            (self.chain_kind_weights, _CHAIN_KINDS, "chain"),
+            (self.post_kind_weights, _POST_KINDS, "post"),
+        ):
+            if len(weights) != len(kinds):
+                raise PlanError(
+                    f"{label}_kind_weights must align with the "
+                    f"{len(kinds)} {label} kinds"
+                )
+            if abs(sum(weights) - 1.0) > 1e-6:
+                raise PlanError(f"{label}_kind_weights must sum to 1")
 
 
 @dataclass
@@ -106,31 +180,101 @@ class _TemplateSpec:
     requested_tokens: int = 100
 
 
-_JOIN_KINDS = (
-    "HashJoin",
-    "MergeJoin",
-    "BroadcastJoin",
-    "SemiJoin",
-    "NestedLoopJoin",
-    "AntiSemiJoin",
-    "UnionAll",
-)
-_JOIN_WEIGHTS = (0.35, 0.2, 0.15, 0.1, 0.05, 0.05, 0.1)
-_SOURCE_KINDS = ("Extract", "TableScan", "IndexScan", "ExternalRead")
-_SOURCE_WEIGHTS = (0.45, 0.3, 0.15, 0.1)
-_CHAIN_KINDS = ("Filter", "RangeFilter", "Project", "ComputeScalar", "ProcessUDO")
-_CHAIN_WEIGHTS = (0.35, 0.15, 0.25, 0.15, 0.1)
-_POST_KINDS = (
-    "HashAggregate",
-    "StreamAggregate",
-    "LocalHashAggregate",
-    "WindowFunction",
-    "ReduceUDO",
-    "Sort",
-    "TopSort",
-    "Top",
-)
-_POST_WEIGHTS = (0.25, 0.1, 0.1, 0.1, 0.1, 0.15, 0.1, 0.1)
+def _streaming_config() -> WorkloadConfig:
+    """Streaming / micro-batch jobs: tiny recurring DAGs, shallow plans.
+
+    Models the user-facing job class of the Tracie replay generator:
+    almost everything is an instance of a small recurring pipeline over
+    a fresh micro-batch of input, with modest parallelism requests.
+    """
+    return WorkloadConfig(
+        family="streaming",
+        recurring_fraction=0.92,
+        num_templates=12,
+        leaf_rows_log_mean=11.0,  # median ~60K rows per micro-batch
+        leaf_rows_log_sigma=0.9,
+        recurring_drift_sigma=0.20,
+        rows_per_partition=30_000.0,
+        default_token_choices=(10, 25, 50, 100),
+        default_token_weights=(0.35, 0.40, 0.20, 0.05),
+        num_inputs_choices=(1, 1, 1, 2),
+        chain_length_range=(1, 4),
+        post_ops_range=(1, 3),
+        # Aggregation-ending pipelines; almost no sorts.
+        post_kind_weights=(0.35, 0.2, 0.15, 0.1, 0.05, 0.05, 0.05, 0.05),
+    )
+
+
+def _ml_training_config() -> WorkloadConfig:
+    """ML-training pipelines: deep UDO-heavy chains, few joins.
+
+    Long featurize/transform chains (ProcessUDO-dominated) feeding
+    reduce/aggregate steps, with large token requests — the batch job
+    class whose run time is compute- rather than shuffle-bound.
+    """
+    return WorkloadConfig(
+        family="ml_training",
+        recurring_fraction=0.70,
+        num_templates=8,
+        leaf_rows_log_mean=13.5,
+        leaf_rows_log_sigma=1.2,
+        recurring_drift_sigma=0.30,
+        default_token_choices=(100, 200, 300, 600, 1500),
+        default_token_weights=(0.25, 0.30, 0.25, 0.15, 0.05),
+        num_inputs_choices=(1, 1, 2),
+        chain_length_range=(4, 9),
+        post_ops_range=(2, 5),
+        # Chains dominated by UDO/compute steps ...
+        chain_kind_weights=(0.1, 0.05, 0.15, 0.25, 0.45),
+        # ... closing with reduce/window aggregation rather than sorts.
+        post_kind_weights=(0.15, 0.05, 0.1, 0.2, 0.35, 0.05, 0.05, 0.05),
+    )
+
+
+def _etl_skew_config() -> WorkloadConfig:
+    """Heavy-skew ETL: wide ad-hoc join fan-ins over skewed inputs.
+
+    Leaf cardinalities span many orders of magnitude (hot partitions
+    next to near-empty ones), producing the ragged skylines and
+    straggler-prone stages the runtime-variation study stress-tests.
+    """
+    return WorkloadConfig(
+        family="etl_skew",
+        recurring_fraction=0.35,
+        num_templates=20,
+        leaf_rows_log_mean=15.0,
+        leaf_rows_log_sigma=2.7,
+        recurring_drift_sigma=0.55,
+        estimation_error_sigma=0.5,
+        num_inputs_choices=(2, 3, 3, 4, 5, 6),
+        chain_length_range=(0, 3),
+        post_ops_range=(1, 4),
+        # Aggregate/sort-heavy tails after the join tree.
+        post_kind_weights=(0.3, 0.1, 0.15, 0.05, 0.05, 0.2, 0.1, 0.05),
+    )
+
+
+#: Declarative workload families: scenario coverage as configuration.
+WORKLOAD_FAMILIES = {
+    "tpch": WorkloadConfig,
+    "streaming": _streaming_config,
+    "ml_training": _ml_training_config,
+    "etl_skew": _etl_skew_config,
+}
+
+FAMILY_NAMES = tuple(sorted(WORKLOAD_FAMILIES))
+
+
+def make_family_config(family: str) -> WorkloadConfig:
+    """The :class:`WorkloadConfig` preset for a named workload family."""
+    try:
+        factory = WORKLOAD_FAMILIES[family]
+    except KeyError:
+        raise PlanError(
+            f"unknown workload family {family!r}; "
+            f"known: {', '.join(FAMILY_NAMES)}"
+        ) from None
+    return factory()
 
 
 class WorkloadGenerator:
@@ -223,7 +367,7 @@ class WorkloadGenerator:
         if rng is None:
             rng = self._rng
         cfg = self.config
-        num_inputs = int(rng.choice([1, 2, 2, 3, 3, 4, 5]))
+        num_inputs = int(rng.choice(list(cfg.num_inputs_choices)))
         base_leaf_rows = tuple(
             float(
                 np.exp(
@@ -233,21 +377,22 @@ class WorkloadGenerator:
             for _ in range(num_inputs)
         )
         join_kinds = tuple(
-            str(rng.choice(_JOIN_KINDS, p=_JOIN_WEIGHTS))
+            str(rng.choice(_JOIN_KINDS, p=cfg.join_kind_weights))
             for _ in range(num_inputs - 1)
         )
         chains = []
         for _ in range(num_inputs):
-            length = int(rng.integers(0, 4))
+            length = int(rng.integers(*cfg.chain_length_range))
             chains.append(
                 tuple(
-                    str(rng.choice(_CHAIN_KINDS, p=_CHAIN_WEIGHTS))
+                    str(rng.choice(_CHAIN_KINDS, p=cfg.chain_kind_weights))
                     for _ in range(length)
                 )
             )
-        num_post = int(rng.integers(1, 4))
+        num_post = int(rng.integers(*cfg.post_ops_range))
         post_ops = tuple(
-            str(rng.choice(_POST_KINDS, p=_POST_WEIGHTS)) for _ in range(num_post)
+            str(rng.choice(_POST_KINDS, p=cfg.post_kind_weights))
+            for _ in range(num_post)
         )
         tokens = int(
             rng.choice(cfg.default_token_choices, p=cfg.default_token_weights)
@@ -400,7 +545,9 @@ class _PlanBuilder:
 
     # -- node constructors -------------------------------------------------
     def add_source(self, rows: float) -> int:
-        kind = str(self.rng.choice(_SOURCE_KINDS, p=_SOURCE_WEIGHTS))
+        kind = str(
+            self.rng.choice(_SOURCE_KINDS, p=self.config.source_kind_weights)
+        )
         row_length = float(np.exp(self.rng.normal(4.6, 0.5)))  # ~100 bytes
         node = OperatorNode(
             op_id=self._new_id(),

@@ -623,6 +623,17 @@ class AllocationServer:
                 self._model_version = record.version
                 self.metrics.counter("model_swaps").increment()
 
+    def refresh_model(self) -> int | None:
+        """Poll the model store *now* and adopt the newest version.
+
+        Workers refresh opportunistically on a wall-clock interval; a
+        caller that just registered a retrained model (e.g. the replay
+        harness's virtual-time retraining hook) calls this to make the
+        swap immediate — and therefore deterministic.
+        """
+        self._maybe_refresh_model(force=True)
+        return self._model_version
+
     @property
     def model_version(self) -> int | None:
         """Version of the store model currently deployed (None = static)."""

@@ -110,3 +110,43 @@ class TestClusterQueue:
         ):
             assert outcome.start_time >= job.arrival_time - 1e-12
             assert outcome.finish_time > outcome.start_time
+
+
+class TestReportPercentiles:
+    """p50/p95 wait and slowdown surfaces added for replay reporting."""
+
+    def report(self):
+        # Serial pool: waits 0/4/8/12, runtimes all 4 → turnarounds
+        # 4/8/12/16 and slowdowns 1/2/3/4.
+        return ClusterQueue(capacity=10).run(
+            [_job(f"j{i}", 0, 10, 4) for i in range(4)]
+        )
+
+    def test_outcome_runtime_and_slowdown(self):
+        outcomes = sorted(
+            self.report().outcomes, key=lambda o: o.start_time
+        )
+        assert [o.runtime for o in outcomes] == [4.0] * 4
+        assert [o.slowdown for o in outcomes] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_wait_percentiles(self):
+        report = self.report()
+        assert report.p50_wait == pytest.approx(6.0)
+        assert report.p95_wait == pytest.approx(
+            np.percentile([0.0, 4.0, 8.0, 12.0], 95)
+        )
+        assert report.wait_percentile(0) == 0.0
+        assert report.wait_percentile(100) == 12.0
+
+    def test_slowdown_percentiles(self):
+        report = self.report()
+        assert report.p50_slowdown == pytest.approx(2.5)
+        assert report.p95_slowdown == pytest.approx(
+            np.percentile([1.0, 2.0, 3.0, 4.0], 95)
+        )
+
+    def test_immediate_job_has_unit_slowdown(self):
+        report = ClusterQueue(capacity=10).run([_job("solo", 0, 10, 5)])
+        assert report.p50_slowdown == 1.0
+        assert report.p95_slowdown == 1.0
+        assert report.p95_wait == 0.0

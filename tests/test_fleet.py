@@ -624,3 +624,145 @@ class TestEvaluation:
         )
         with pytest.raises(FleetError):
             comparison.get("nonexistent")
+
+
+class TestFleetStream:
+    def job(self, job_id, arrival, lo, hi, a=-0.5, b=100.0):
+        return FleetJob(
+            job_id=job_id,
+            arrival_time=arrival,
+            demand=JobDemand(
+                job_id=job_id,
+                pcc=PowerLawPCC(a=a, b=b),
+                min_tokens=lo,
+                max_tokens=hi,
+            ),
+        )
+
+    def test_stream_matches_batch_run(self):
+        jobs = [
+            self.job(f"j{i}", float(i * 3), 10 + i, 40 + i)
+            for i in range(12)
+        ]
+        scheduler = FleetScheduler(120, reallocate_running=True)
+        batch = scheduler.run(jobs)
+        stream = scheduler.stream()
+        for job in jobs:
+            stream.advance(job.arrival_time)
+            stream.submit(job)
+        stream.drain()
+        incremental = stream.report()
+        assert incremental.outcomes == batch.outcomes
+        assert (
+            incremental.peak_committed_tokens
+            == batch.peak_committed_tokens
+        )
+        assert incremental.reallocations == batch.reallocations
+
+    def test_advance_returns_new_completions_in_finish_order(self):
+        stream = FleetScheduler(100).stream()
+        stream.submit(self.job("a", 0.0, 50, 50))
+        stream.submit(self.job("b", 0.0, 50, 50))
+        assert stream.advance(0.0) == []
+        assert stream.in_flight == 2
+        done = stream.advance(1e9)
+        assert [o.job_id for o in done] == ["a", "b"]
+        # Already-delivered outcomes are not replayed.
+        assert stream.advance(2e9) == []
+
+    def test_submissions_must_be_time_ordered(self):
+        stream = FleetScheduler(100).stream()
+        stream.submit(self.job("late", 10.0, 5, 5))
+        with pytest.raises(ExecutionError, match="time order"):
+            stream.submit(self.job("early", 5.0, 5, 5))
+
+    def test_oversized_floor_rejected_at_submit(self):
+        stream = FleetScheduler(10).stream()
+        with pytest.raises(ExecutionError, match="only has 10"):
+            stream.submit(self.job("big", 0.0, 11, 20))
+
+    def test_drain_runs_the_tail_out(self):
+        stream = FleetScheduler(10).stream()
+        stream.submit(self.job("ok", 0.0, 10, 10))
+        stream.submit(self.job("next", 1.0, 10, 10))
+        assert len(stream.drain()) == 2
+        assert stream.committed_tokens == 0
+
+    def test_report_requires_completions(self):
+        stream = FleetScheduler(10).stream()
+        with pytest.raises(ExecutionError, match="no jobs"):
+            stream.report()
+
+
+class TestBackfillAdmission:
+    """EASY backfill: small jobs slip past a blocked head-of-line job
+    without ever delaying the head's earliest possible start."""
+
+    def scenario(self):
+        slow = PowerLawPCC(a=-0.5, b=100.0)
+        fast = PowerLawPCC(a=-0.5, b=4.0)
+        jobs = [
+            # Fills 80 of the 100-token pool for ~11.2s.
+            FleetJob("big", 0.0, JobDemand("big", slow, 80, 80)),
+            # Blocked head: needs the whole pool.
+            FleetJob("head", 1.0, JobDemand("head", slow, 100, 100)),
+        ] + [
+            # Short jobs that fit the 20 spare tokens right now.
+            FleetJob(f"s{i}", 2.0, JobDemand(f"s{i}", fast, 5, 5))
+            for i in range(4)
+        ]
+        return jobs
+
+    def test_backfill_improves_mean_wait(self):
+        jobs = self.scenario()
+        fcfs = FleetScheduler(100, admission="fcfs").run(jobs)
+        easy = FleetScheduler(100, admission="backfill").run(jobs)
+        assert easy.mean_wait < fcfs.mean_wait
+        assert easy.backfills == 4
+        assert fcfs.backfills == 0
+        assert easy.admission == "backfill"
+
+    def test_head_start_is_not_delayed(self):
+        jobs = self.scenario()
+        start = {
+            report_kind: {
+                o.job_id: o.start_time
+                for o in FleetScheduler(
+                    100, admission=report_kind
+                ).run(jobs).outcomes
+            }
+            for report_kind in ("fcfs", "backfill")
+        }
+        assert (
+            start["backfill"]["head"] == start["fcfs"]["head"]
+        )
+
+    def test_long_candidates_are_not_backfilled(self):
+        # Candidates whose own predicted run time crosses the shadow
+        # time and exceed the head's spare tokens must keep waiting.
+        slow = PowerLawPCC(a=-0.5, b=100.0)
+        jobs = [
+            FleetJob("big", 0.0, JobDemand("big", slow, 80, 80)),
+            FleetJob("head", 1.0, JobDemand("head", slow, 100, 100)),
+            FleetJob("laggard", 2.0, JobDemand("laggard", slow, 5, 5)),
+        ]
+        report = FleetScheduler(100, admission="backfill").run(jobs)
+        assert report.backfills == 0
+
+    def test_spare_tokens_admit_past_shadow_candidates(self):
+        # Head leaves spare capacity at its shadow time; a long-running
+        # small job may occupy exactly that spare without delaying it.
+        slow = PowerLawPCC(a=-0.5, b=100.0)
+        jobs = [
+            FleetJob("big", 0.0, JobDemand("big", slow, 80, 80)),
+            FleetJob("head", 1.0, JobDemand("head", slow, 90, 90)),
+            FleetJob("laggard", 2.0, JobDemand("laggard", slow, 5, 5)),
+        ]
+        report = FleetScheduler(100, admission="backfill").run(jobs)
+        assert report.backfills == 1
+        start = {o.job_id: o.start_time for o in report.outcomes}
+        assert start["laggard"] == 2.0
+
+    def test_unknown_admission_order(self):
+        with pytest.raises(FleetError, match="admission order"):
+            FleetScheduler(100, admission="sjf")
