@@ -11,7 +11,12 @@ useful for catching performance regressions:
 * GNN forward pass over a padded batch,
 * the offline pipeline hot paths: ``build_dataset`` end-to-end, the
   vectorized allocation-sweep kernel, and warm-versus-cold cached builds,
-* fleet candidate-grid construction over the sweep kernel.
+* fleet candidate-grid construction over the sweep kernel,
+* the compiled inference kernels (``repro.ml.compiled``): flattened-GBM
+  and fused-MLP throughput versus the reference paths at batch sizes
+  1/64/1024, plus the routed XGBoost-PL scoring path end to end. These
+  are marked ``slow`` so the tier-1 job (``-m "not slow"``) skips them;
+  the perf-kernels CI job runs them and archives the JSON.
 
 The pipeline benchmarks additionally write their median round times to
 ``benchmarks/results/BENCH_pipeline.json`` so CI can archive them.
@@ -194,6 +199,135 @@ def test_perf_fleet_candidate_grid(benchmark, big_skyline):
     _PIPELINE["fleet_grid_loop_s"] = loop_s
     _PIPELINE["fleet_grid_speedup"] = loop_s / kernel_s
     assert loop_s > kernel_s
+
+
+# ----------------------------------------------------------------------
+# compiled inference kernels (repro.ml.compiled)
+# ----------------------------------------------------------------------
+_SCORING_BATCHES = (1, 64, 1024)
+
+
+def _median_seconds(fn, rounds: int) -> float:
+    fn()  # warm-up: lazy kernel compile + buffer allocation
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+@pytest.fixture(scope="module")
+def scoring_booster(rng):
+    features = rng.uniform(0, 10, size=(2000, 52))
+    targets = np.exp(rng.normal(4, 1, 2000))
+    params = BoosterParams(n_estimators=150, max_depth=6)
+    model = GradientBoostingRegressor(params, seed=0).fit(features, targets)
+    return model, features
+
+
+@pytest.mark.slow
+def test_perf_gbm_compiled_vs_reference(scoring_booster):
+    """Flattened-forest traversal vs the per-tree python loop."""
+    model, features = scoring_booster
+    for batch_size in _SCORING_BATCHES:
+        batch = features[:batch_size]
+        compiled_s = _median_seconds(lambda: model.predict(batch), rounds=9)
+        reference_s = _median_seconds(
+            lambda: model.predict_reference(batch), rounds=9
+        )
+        _PIPELINE[f"gbm_forest_compiled_b{batch_size}_s"] = compiled_s
+        _PIPELINE[f"gbm_forest_reference_b{batch_size}_s"] = reference_s
+        _PIPELINE[f"gbm_forest_speedup_b{batch_size}"] = (
+            reference_s / compiled_s
+        )
+        assert np.array_equal(
+            model.predict(batch), model.predict_reference(batch)
+        )
+        if batch_size >= 64:
+            assert compiled_s < reference_s
+
+
+@pytest.mark.slow
+def test_perf_nn_fused_vs_reference(rng):
+    """Fused float32 forward pass vs the autograd tensor stack."""
+    from repro.ml.autograd import Tensor
+    from repro.ml.compiled import compile_network
+    from repro.ml.nn import Activation, Dense, PCCParameterHead, Sequential
+
+    network = Sequential(
+        Dense(52, 32, rng),
+        Activation("relu"),
+        Dense(32, 16, rng),
+        Activation("relu"),
+        PCCParameterHead(16, rng),
+    )
+    fused = compile_network(network)
+    features = rng.normal(0, 1, size=(max(_SCORING_BATCHES), 52))
+    for batch_size in _SCORING_BATCHES:
+        batch = features[:batch_size]
+        fused_s = _median_seconds(lambda: fused.predict(batch), rounds=9)
+        reference_s = _median_seconds(
+            lambda: network(Tensor(batch)).numpy(), rounds=9
+        )
+        _PIPELINE[f"nn_fused_b{batch_size}_s"] = fused_s
+        _PIPELINE[f"nn_reference_b{batch_size}_s"] = reference_s
+        _PIPELINE[f"nn_speedup_b{batch_size}"] = reference_s / fused_s
+        if batch_size >= 64:
+            assert fused_s < reference_s
+
+
+@pytest.mark.slow
+def test_perf_scoring_path_compiled_vs_reference(train_dataset):
+    """The routed scoring path end to end at batch 1024.
+
+    ``XGBoostRuntimeModel.predict_curves`` is what every XGBoost-PL
+    scoring call fans out to. Reference = the pre-kernel semantics (one
+    booster call per example, per-tree python traversal); compiled = one
+    batched booster call through the flattened forest. Bit-identical by
+    construction, and required to be at least 5x faster.
+    """
+    from itertools import cycle, islice
+
+    from repro.ml import compiled as compiled_kernels
+    from repro.models import XGBoostRuntimeModel
+    from repro.models.dataset import PCCDataset
+    from repro.models.xgboost_models import reference_window
+
+    model = XGBoostRuntimeModel(
+        BoosterParams(n_estimators=150, max_depth=6)
+    ).fit(train_dataset)
+
+    batch_size = 1024
+    scoring = PCCDataset()
+    scoring.examples = list(
+        islice(cycle(train_dataset.examples), batch_size)
+    )
+    grids = [
+        reference_window(example.observed_tokens)
+        for example in scoring.examples
+    ]
+
+    compiled_s = _median_seconds(
+        lambda: model.predict_curves(scoring, grids), rounds=5
+    )
+
+    def reference() -> list[np.ndarray]:
+        with compiled_kernels.override(False):
+            return model.predict_curves(scoring, grids)
+
+    reference_s = _median_seconds(reference, rounds=3)
+
+    fast = model.predict_curves(scoring, grids)
+    slow = reference()
+    assert all(np.array_equal(f, s) for f, s in zip(fast, slow))
+
+    speedup = reference_s / compiled_s
+    _PIPELINE["scoring_compiled_s"] = compiled_s
+    _PIPELINE["scoring_reference_s"] = reference_s
+    _PIPELINE["scoring_batch"] = batch_size
+    _PIPELINE["scoring_speedup"] = speedup
+    assert speedup >= 5.0
 
 
 def test_perf_cache_hit_build(pipeline_repo, tmp_path):

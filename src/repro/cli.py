@@ -455,6 +455,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             for t in tenants
         )
 
+    if args.tiny:
+        args.duration = 120.0
+        args.bootstrap_jobs = 15
     config = ReplayConfig(
         duration_s=args.duration,
         policy=args.policy,
@@ -792,6 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="process-pool size for the bootstrap (output identical "
         "at any value)",
+    )
+    replay.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test scale: 120s window, 15 bootstrap jobs "
+        "(overrides --duration/--bootstrap-jobs)",
     )
     replay.add_argument(
         "--out", type=Path, default=None,

@@ -1,6 +1,11 @@
-"""ML substrate: autograd, neural layers, GBM, GNN, losses, metrics."""
+"""ML substrate: autograd, neural layers, GBM, GNN, losses, metrics.
+
+``repro.ml.compiled`` holds the flattened batch-inference kernels the
+online layers score through (see ``docs/performance.md``).
+"""
 
 from repro.ml.autograd import Tensor, concat, maximum, tensor, where
+from repro.ml.compiled import FlattenedForest, FusedMLP, compile_network
 from repro.ml.gbm import BoosterParams, GradientBoostingRegressor
 from repro.ml.gnn import (
     AttentionPooling,
@@ -44,6 +49,9 @@ __all__ = [
     "fraction_non_increasing",
     "BoosterParams",
     "GradientBoostingRegressor",
+    "FlattenedForest",
+    "FusedMLP",
+    "compile_network",
     "GraphBatch",
     "pad_graph_batch",
     "GraphConvolution",

@@ -7,6 +7,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ModelError, NotFittedError
+from repro.ml import compiled as compiled_kernels
+from repro.ml.compiled import FlattenedForest
 from repro.ml.gbm.objectives import GammaDeviance, Objective, SquaredError
 from repro.ml.gbm.tree import BinMapper, RegressionTree, TreeParams
 
@@ -49,6 +51,7 @@ class GradientBoostingRegressor:
         params: BoosterParams | None = None,
         objective: str | Objective = "gamma",
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
         self.params = params or BoosterParams()
         if isinstance(objective, Objective):
@@ -63,6 +66,11 @@ class GradientBoostingRegressor:
         self._trees: list[RegressionTree] = []
         self._mapper: BinMapper | None = None
         self._base_score = 0.0
+        #: Route inference through the flattened branchless kernel
+        #: (bit-identical to the reference traversal); flip to False —
+        #: or use ``repro.ml.compiled.override(False)`` — to fall back.
+        self.use_compiled = use_compiled
+        self._compiled: FlattenedForest | None = None
         self.train_scores_: list[float] = []
         self.valid_scores_: list[float] = []
 
@@ -94,6 +102,7 @@ class GradientBoostingRegressor:
         self._base_score = self.objective.base_score(targets)
         raw = np.full(n_samples, self._base_score)
         self._trees = []
+        self._compiled = None  # refit invalidates the flattened kernel
         self.train_scores_ = []
         self.valid_scores_ = []
 
@@ -164,15 +173,54 @@ class GradientBoostingRegressor:
         return self.objective.predict(self.predict_raw(features))
 
     def predict_raw(self, features: np.ndarray) -> np.ndarray:
-        """Predict raw scores (log space for the gamma objective)."""
+        """Predict raw scores (log space for the gamma objective).
+
+        Routed through the flattened
+        :class:`~repro.ml.compiled.FlattenedForest` kernel (compiled
+        lazily on first predict, dropped on refit) unless compiled
+        inference is disabled; both paths are bit-identical.
+        """
         if self._mapper is None or not self._trees:
             raise NotFittedError("booster used before fit")
         features = np.asarray(features, dtype=float)
         binned = self._mapper.transform(features)
+        if self.use_compiled and compiled_kernels.is_enabled():
+            return self.compiled_forest().predict_raw(binned, self._base_score)
+        return self._predict_raw_binned_reference(binned)
+
+    def predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """Response-scale prediction via the per-tree python traversal.
+
+        The pre-kernel semantics, kept as the unit under the
+        differential test harness.
+        """
+        return self.objective.predict(self.predict_raw_reference(features))
+
+    def predict_raw_reference(self, features: np.ndarray) -> np.ndarray:
+        """Raw-score prediction via the per-tree python traversal."""
+        if self._mapper is None or not self._trees:
+            raise NotFittedError("booster used before fit")
+        features = np.asarray(features, dtype=float)
+        return self._predict_raw_binned_reference(
+            self._mapper.transform(features)
+        )
+
+    def _predict_raw_binned_reference(self, binned: np.ndarray) -> np.ndarray:
         raw = np.full(binned.shape[0], self._base_score)
         for tree in self._trees:
             raw = raw + self.params.learning_rate * tree.predict(binned)
         return raw
+
+    def compiled_forest(self) -> FlattenedForest:
+        """The lazily built flattened ensemble (compiles on first use)."""
+        if self._mapper is None or not self._trees:
+            raise NotFittedError("booster used before fit")
+        if self._compiled is None:
+            self._compiled = FlattenedForest.from_trees(
+                [tree.flat_arrays() for tree in self._trees],
+                self.params.learning_rate,
+            )
+        return self._compiled
 
     @property
     def num_trees(self) -> int:

@@ -256,6 +256,25 @@ class RegressionTree:
             active = feature[nodes] >= 0
         return value[nodes]
 
+    def flat_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(feature, bin_threshold, left, right, value)`` node arrays.
+
+        The raw flattened layout consumed by
+        :class:`~repro.ml.compiled.FlattenedForest`; leaves have
+        ``feature == -1`` exactly as stored internally.
+        """
+        if not self._value:
+            raise ModelError("tree used before fit")
+        return (
+            np.asarray(self._feature, dtype=np.int64),
+            np.asarray(self._bin_threshold, dtype=np.int64),
+            np.asarray(self._left, dtype=np.int64),
+            np.asarray(self._right, dtype=np.int64),
+            np.asarray(self._value, dtype=np.float64),
+        )
+
     @property
     def num_nodes(self) -> int:
         return len(self._value)

@@ -16,7 +16,9 @@ import numpy as np
 
 from repro.exceptions import ModelError
 from repro.features.encoders import StandardScaler, TargetScaler
+from repro.ml import compiled as compiled_kernels
 from repro.ml.autograd import Tensor
+from repro.ml.compiled import FusedMLP, compile_network
 from repro.ml.losses import CompositeLoss, LF2, LossInputs
 from repro.ml.nn import Activation, Dense, PCCParameterHead, Sequential
 from repro.models.base import PCCPredictor
@@ -39,6 +41,7 @@ class NNPCCModel(PCCPredictor):
         train_config: TrainConfig | None = None,
         xgb_model: PCCPredictor | None = None,
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
         super().__init__()
         if not hidden_sizes:
@@ -51,6 +54,12 @@ class NNPCCModel(PCCPredictor):
         self._scaler = StandardScaler()
         self._target_scaler = TargetScaler()
         self._network: Sequential | None = None
+        #: Route inference through the fused float32 forward pass
+        #: (:class:`~repro.ml.compiled.FusedMLP`); results agree with the
+        #: autograd reference to float32 round-off. Flip to False — or
+        #: use ``repro.ml.compiled.override(False)`` — to fall back.
+        self.use_compiled = use_compiled
+        self._compiled: FusedMLP | None = None
         self.loss_history_: list[float] = []
 
     # ------------------------------------------------------------------
@@ -87,6 +96,7 @@ class NNPCCModel(PCCPredictor):
         )
 
         self._network = self._build_network(features.shape[1])
+        self._compiled = None  # refit invalidates the fused forward pass
 
         def forward(batch: np.ndarray) -> Tensor:
             return self._network(Tensor(features[batch]))
@@ -105,10 +115,39 @@ class NNPCCModel(PCCPredictor):
 
     # ------------------------------------------------------------------
     def predict_parameters(self, dataset: PCCDataset) -> np.ndarray:
+        """Predicted ``(a, log b)`` per example.
+
+        Served by the fused float32 forward pass (compiled lazily on
+        first predict, dropped on refit) unless compiled inference is
+        disabled; the sign guarantee ``a <= 0`` holds on both paths.
+        """
+        self._check_fitted()
+        assert self._network is not None
+        features = self._scaler.transform(dataset.job_feature_matrix())
+        if self.use_compiled and compiled_kernels.is_enabled():
+            try:
+                return self.fused_network().predict(features)
+            except ModelError:
+                # Network contains modules the fuser does not understand
+                # (e.g. a subclass override): stay on autograd for good.
+                self.use_compiled = False
+        return self._network(Tensor(features)).numpy()
+
+    def predict_parameters_reference(self, dataset: PCCDataset) -> np.ndarray:
+        """``(a, log b)`` via the float64 autograd stack (pre-kernel
+        semantics, kept as the unit under the differential tests)."""
         self._check_fitted()
         assert self._network is not None
         features = self._scaler.transform(dataset.job_feature_matrix())
         return self._network(Tensor(features)).numpy()
+
+    def fused_network(self) -> FusedMLP:
+        """The lazily compiled forward pass (compiles on first use)."""
+        self._check_fitted()
+        assert self._network is not None
+        if self._compiled is None:
+            self._compiled = compile_network(self._network)
+        return self._compiled
 
     def predict_runtime_at(
         self, dataset: PCCDataset, tokens: np.ndarray

@@ -21,6 +21,7 @@ import numpy as np
 from scipy.interpolate import UnivariateSpline
 
 from repro.exceptions import ModelError
+from repro.ml import compiled as compiled_kernels
 from repro.ml.gbm import BoosterParams, GradientBoostingRegressor
 from repro.models.base import PCCPredictor
 from repro.models.dataset import PCCDataset
@@ -49,18 +50,27 @@ class XGBoostRuntimeModel(PCCPredictor):
         self,
         booster_params: BoosterParams | None = None,
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
         super().__init__()
         self.booster_params = booster_params or BoosterParams(
             n_estimators=150, max_depth=6, learning_rate=0.1, subsample=0.9
         )
         self._seed = seed
+        #: Route curve evaluation through one batched booster call (and
+        #: the booster through the flattened kernel); bit-identical to
+        #: the per-example loop. ``repro.ml.compiled.override(False)``
+        #: or ``use_compiled=False`` restore the reference path.
+        self.use_compiled = use_compiled
         self._booster: GradientBoostingRegressor | None = None
 
     def fit(self, dataset: PCCDataset) -> "XGBoostRuntimeModel":
         rows, targets = dataset.point_rows()
         self._booster = GradientBoostingRegressor(
-            self.booster_params, objective="gamma", seed=self._seed
+            self.booster_params,
+            objective="gamma",
+            seed=self._seed,
+            use_compiled=self.use_compiled,
         )
         self._booster.fit(rows, targets)
         self._fitted = True
@@ -86,10 +96,19 @@ class XGBoostRuntimeModel(PCCPredictor):
     def predict_curves(
         self, dataset: PCCDataset, grids: list[np.ndarray]
     ) -> list[np.ndarray]:
-        """Raw booster point predictions over each grid (no smoothing)."""
+        """Raw booster point predictions over each grid (no smoothing).
+
+        With compiled inference on, all grids are evaluated with a
+        *single* booster call (repeat the feature rows, concatenate the
+        grids, split the predictions back). Binning, traversal and
+        accumulation are all elementwise per row, so the batched call is
+        bit-identical to the per-example loop it replaces.
+        """
         self._check_fitted()
         assert self._booster is not None
         features = dataset.job_feature_matrix()
+        if self.use_compiled and compiled_kernels.is_enabled():
+            return self._predict_curves_batched(features, grids)
         curves = []
         for feature_row, grid in zip(features, grids):
             grid = np.asarray(grid, dtype=float)
@@ -98,6 +117,24 @@ class XGBoostRuntimeModel(PCCPredictor):
             )
             curves.append(self._booster.predict(rows))
         return curves
+
+    def _predict_curves_batched(
+        self, features: np.ndarray, grids: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        # zip() semantics of the reference loop: truncate to the shorter.
+        count = min(features.shape[0], len(grids))
+        flat_grids = [np.asarray(grids[i], dtype=float) for i in range(count)]
+        sizes = [grid.size for grid in flat_grids]
+        if count == 0:
+            return []
+        rows = np.column_stack(
+            [
+                np.repeat(features[:count], sizes, axis=0),
+                np.log(np.concatenate(flat_grids)),
+            ]
+        )
+        predictions = self._booster.predict(rows)
+        return np.split(predictions, np.cumsum(sizes)[:-1])
 
 
 class XGBoostSS(XGBoostRuntimeModel):
@@ -110,8 +147,9 @@ class XGBoostSS(XGBoostRuntimeModel):
         booster_params: BoosterParams | None = None,
         smoothing: float = 0.05,
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
-        super().__init__(booster_params, seed)
+        super().__init__(booster_params, seed, use_compiled)
         if smoothing < 0:
             raise ModelError("smoothing must be non-negative")
         self.smoothing = smoothing
@@ -149,8 +187,9 @@ class XGBoostPL(XGBoostRuntimeModel):
         window_points: int = 9,
         window_spread: float = 0.4,
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
-        super().__init__(booster_params, seed)
+        super().__init__(booster_params, seed, use_compiled)
         self.window_points = window_points
         self.window_spread = window_spread
 

@@ -619,6 +619,10 @@ class AllocationServer:
             except ReproError:
                 return  # nothing registered yet; keep the current model
             if record.version != self._model_version:
+                # Swapping the whole model object also swaps its lazily
+                # compiled inference kernels (repro.ml.compiled caches
+                # ride on the model), so no explicit invalidation is
+                # needed here — the new model compiles on first batch.
                 self._pipeline.model = record.model
                 self._model_version = record.version
                 self.metrics.counter("model_swaps").increment()

@@ -24,6 +24,7 @@ from repro.features.graph_features import GraphSample, graph_sample_from_matrix
 from repro.features.job_features import job_vector_from_matrix
 from repro.features.operator_features import plan_feature_matrix
 from repro.features.schema import OPERATOR_SCHEMA, FeatureSchema
+from repro.ml import compiled as compiled_kernels
 from repro.models.base import PCCPredictor
 from repro.models.dataset import PCCDataset, PCCExample, build_dataset
 from repro.models.gnn_model import GNNPCCModel
@@ -258,6 +259,11 @@ class ScoringPipeline:
         Optional SLO: when set, the recommendation is additionally capped
         so predicted slowdown versus the requested allocation stays
         within this budget.
+    use_compiled:
+        When False, every model prediction inside this pipeline runs
+        with :func:`repro.ml.compiled.override` forcing the reference
+        (pre-kernel) inference paths — the escape hatch the golden
+        regression tests pin recommendations against.
     """
 
     def __init__(
@@ -265,12 +271,14 @@ class ScoringPipeline:
         model: PCCPredictor,
         improvement_threshold: float = 0.01,
         max_slowdown: float | None = None,
+        use_compiled: bool = True,
     ) -> None:
         if improvement_threshold <= 0:
             raise PipelineError("improvement threshold must be positive")
         self.model = model
         self.improvement_threshold = improvement_threshold
         self.max_slowdown = max_slowdown
+        self.use_compiled = use_compiled
 
     def score(
         self,
@@ -311,7 +319,11 @@ class ScoringPipeline:
             if features is None:
                 dataset = _scoring_dataset(plans, tokens_arr, None)
             with trace.span("tasq.predict_pccs", batch=len(plans)):
-                pccs = self.model.predict_pccs(dataset)
+                if self.use_compiled:
+                    pccs = self.model.predict_pccs(dataset)
+                else:
+                    with compiled_kernels.override(False):
+                        pccs = self.model.predict_pccs(dataset)
             if trace.enabled:
                 get_registry().counter("tasq_jobs_scored").increment(
                     len(plans)

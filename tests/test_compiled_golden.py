@@ -1,0 +1,111 @@
+"""Golden end-to-end regressions: compiled inference changes nothing.
+
+Routing the scoring stack through ``repro.ml.compiled`` must be
+invisible downstream. The strongest statement of that is made at the two
+outermost surfaces:
+
+* :class:`~repro.tasq.pipeline.ScoringPipeline` over an XGBoost PL
+  model — every recommendation field exactly equal with kernels on and
+  off (the GBM path is bit-identical, so no tolerance is needed);
+* a full ``repro.replay`` run (the ``python -m repro replay --tiny``
+  scale) — the report's content-hash ``signature()`` identical with
+  kernels forced off, because the replay loop bootstraps an XGBoost PL
+  model and every prediction it makes is bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import compiled
+from repro.ml.gbm import BoosterParams
+from repro.models.xgboost_models import XGBoostPL
+from repro.replay import ReplayConfig, run_replay
+from repro.tasq import ScoringPipeline
+
+TINY = dict(duration_s=120.0, bootstrap_jobs=15, seed=11)
+
+
+@pytest.fixture(scope="module")
+def pl_model(dataset):
+    return XGBoostPL(BoosterParams(n_estimators=30, max_depth=4)).fit(dataset)
+
+
+class TestScoringGolden:
+    def test_recommendations_identical_with_and_without_kernels(
+        self, pl_model, workload_jobs
+    ):
+        jobs = workload_jobs[:12]
+        plans = [job.plan for job in jobs]
+        tokens = [job.requested_tokens for job in jobs]
+
+        fast = ScoringPipeline(pl_model).score_batch(plans, tokens)
+        slow = ScoringPipeline(pl_model, use_compiled=False).score_batch(
+            plans, tokens
+        )
+
+        assert len(fast) == len(slow) == len(jobs)
+        for got, want in zip(fast, slow):
+            assert got.job_id == want.job_id
+            assert got.optimal_tokens == want.optimal_tokens
+            assert got.requested_tokens == want.requested_tokens
+            assert got.pcc.a == want.pcc.a
+            assert got.pcc.b == want.pcc.b
+            assert (
+                got.predicted_runtime_at_requested
+                == want.predicted_runtime_at_requested
+            )
+            assert (
+                got.predicted_runtime_at_optimal
+                == want.predicted_runtime_at_optimal
+            )
+
+    def test_escape_hatch_really_disables_kernels(self, pl_model, workload_jobs):
+        plan = workload_jobs[0].plan
+        tokens = workload_jobs[0].requested_tokens
+        booster = pl_model._booster
+        booster._compiled = None
+        ScoringPipeline(pl_model, use_compiled=False).score(plan, tokens)
+        assert booster._compiled is None  # reference path never compiles
+        ScoringPipeline(pl_model).score(plan, tokens)
+        assert booster._compiled is not None
+
+
+class TestReplayGolden:
+    def test_replay_signature_unchanged_by_kernels(self):
+        enabled = run_replay(ReplayConfig(**TINY))
+        with compiled.override(False):
+            reference = run_replay(ReplayConfig(**TINY))
+        assert enabled.signature() == reference.signature()
+        assert enabled.to_json() == reference.to_json()
+
+    def test_replay_signature_golden_pin(self):
+        # Pinned content hash of the tiny replay: fails if *anything*
+        # observable about the closed loop shifts — arrival sampling,
+        # model fitting, recommendations, admission, or execution. Update
+        # deliberately when the replay semantics themselves change.
+        report = run_replay(ReplayConfig(**TINY))
+        assert report.signature() == (
+            "1f53ed995090bfebad7ac8a75fbdab2afedd0536d50ae85de2d6ee66b38370c5"
+        )
+
+
+class TestCliTinyFlag:
+    def test_tiny_flag_parses_and_overrides(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "replay",
+                "--tiny",
+                "--seed",
+                "11",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["duration_s"] == 120.0
