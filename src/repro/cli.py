@@ -467,6 +467,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         slowdown_floor=args.slowdown_floor,
         admission=args.admission,
         retrain=args.retrain,
+        promotion=args.promotion,
+        risk=args.risk,
         workers=args.workers,
     )
     print(
@@ -790,6 +792,19 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--retrain", action="store_true",
         help="refit + hot-swap the model when the drift monitor fires",
+    )
+    replay.add_argument(
+        "--promotion", choices=("immediate", "shadow"),
+        default="immediate",
+        help="how a retrained model deploys: immediate hot-swap, or "
+        "shadow champion-challenger gated on accuracy + coverage "
+        "(docs/uncertainty.md)",
+    )
+    replay.add_argument(
+        "--risk", type=float, default=None,
+        help="risk level in (0, 1) for recommendations and deadline "
+        "floors; e.g. 0.9 = SLOs hold at the q90 of predicted run time "
+        "(default: point estimates)",
     )
     replay.add_argument(
         "--workers", type=int, default=1,

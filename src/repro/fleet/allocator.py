@@ -243,12 +243,26 @@ class DeadlineAwarePolicy(AllocationPolicy):
     and collectively the most token-hungry raises are relaxed first
     until the floors fit, so the allocator never fails where a best
     effort is possible.
+
+    With ``risk=`` set, a demand that carries a non-degenerate
+    ``pcc_interval`` has its deadline floor computed against the
+    interval's risk-quantile curve instead of the median — "enough
+    tokens that the deadline holds with probability ``risk``" (see
+    ``docs/uncertainty.md``). Demands without intervals keep the
+    point-estimate floor.
     """
 
     name = "deadline"
 
-    def __init__(self, base: AllocationPolicy | None = None) -> None:
+    def __init__(
+        self,
+        base: AllocationPolicy | None = None,
+        risk: float | None = None,
+    ) -> None:
+        if risk is not None and not 0.0 < risk < 1.0:
+            raise FleetError("risk must be inside (0, 1)")
         self.base = base or WaterFillingPolicy()
+        self.risk = risk
 
     def allocate(
         self, demands: Sequence[JobDemand], cap: int
@@ -257,11 +271,19 @@ class DeadlineAwarePolicy(AllocationPolicy):
         for demand in demands:
             floor = demand.min_tokens
             if demand.deadline is not None:
+                interval = demand.pcc_interval
+                use_risk = (
+                    self.risk is not None
+                    and interval is not None
+                    and not interval.is_degenerate
+                )
                 needed = cheapest_within_deadline(
                     demand.pcc,
                     demand.deadline,
                     min_tokens=demand.min_tokens,
                     max_tokens=demand.max_tokens,
+                    interval=interval if use_risk else None,
+                    risk=self.risk if use_risk else None,
                 )
                 if needed is not None:
                     floor = max(floor, needed)

@@ -7,6 +7,18 @@ which the job should not be squeezed (e.g. a slowdown SLO) and a ceiling
 (typically the user's requested allocation). The allocator answers with
 a :class:`FleetAllocation`: one integer :class:`TokenGrant` per job whose
 sum never exceeds the cluster cap.
+
+**Point-estimate assumption, made explicit.** ``pcc`` is the *median*
+predicted curve; every marginal-gain comparison the policies make treats
+it as exact, so two jobs with equal medians but wildly different
+prediction spread look identical to the allocator. A demand may
+therefore also carry the model's full predicted interval
+(``pcc_interval`` — the q10/q50/q90 curves). Policies that enforce hard
+promises (deadlines) can then work against a risk quantile of the
+run-time distribution via
+:class:`~repro.fleet.allocator.DeadlineAwarePolicy`'s ``risk=`` knob
+instead of the median; policies that only rank marginal gains keep using
+``pcc`` unchanged (see ``docs/uncertainty.md``).
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from dataclasses import dataclass
 from repro.exceptions import FleetError
 from repro.fleet.candidates import CandidateGrid
 from repro.pcc.curve import PowerLawPCC
+from repro.pcc.intervals import PCCInterval
 
 __all__ = ["JobDemand", "TokenGrant", "FleetAllocation"]
 
@@ -40,6 +53,10 @@ class JobDemand:
     grid:
         Optional precomputed candidate grid (e.g. AREPAS-backed); the
         knapsack policy uses it instead of sampling the PCC.
+    pcc_interval:
+        Optional predicted q10/q50/q90 curves around ``pcc``. Read only
+        by risk-aware policies; when None (or degenerate) every policy
+        behaves exactly as with the point estimate.
     """
 
     job_id: str
@@ -48,6 +65,7 @@ class JobDemand:
     max_tokens: int = 256
     deadline: float | None = None
     grid: CandidateGrid | None = None
+    pcc_interval: PCCInterval | None = None
 
     def __post_init__(self) -> None:
         if self.min_tokens < 1:

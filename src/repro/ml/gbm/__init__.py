@@ -1,7 +1,12 @@
 """Gradient-boosted regression trees (XGBoost stand-in)."""
 
 from repro.ml.gbm.booster import BoosterParams, GradientBoostingRegressor
-from repro.ml.gbm.objectives import GammaDeviance, Objective, SquaredError
+from repro.ml.gbm.objectives import (
+    GammaDeviance,
+    Objective,
+    PinballLoss,
+    SquaredError,
+)
 from repro.ml.gbm.tree import BinMapper, RegressionTree, TreeParams
 
 __all__ = [
@@ -10,6 +15,7 @@ __all__ = [
     "Objective",
     "SquaredError",
     "GammaDeviance",
+    "PinballLoss",
     "BinMapper",
     "RegressionTree",
     "TreeParams",

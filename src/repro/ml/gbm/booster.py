@@ -9,7 +9,12 @@ import numpy as np
 from repro.exceptions import ModelError, NotFittedError
 from repro.ml import compiled as compiled_kernels
 from repro.ml.compiled import FlattenedForest
-from repro.ml.gbm.objectives import GammaDeviance, Objective, SquaredError
+from repro.ml.gbm.objectives import (
+    GammaDeviance,
+    Objective,
+    PinballLoss,
+    SquaredError,
+)
 from repro.ml.gbm.tree import BinMapper, RegressionTree, TreeParams
 
 __all__ = ["BoosterParams", "GradientBoostingRegressor"]
@@ -43,7 +48,10 @@ class GradientBoostingRegressor:
     """Second-order gradient boosting with a pluggable objective.
 
     ``objective`` accepts ``"gamma"`` (the paper's choice for run-time
-    regression — positive, right-skewed targets) or ``"squared_error"``.
+    regression — positive, right-skewed targets), ``"squared_error"``,
+    ``"pinball"`` (median regression; pass a
+    :class:`~repro.ml.gbm.objectives.PinballLoss` instance for other
+    quantiles), or any :class:`Objective` instance.
     """
 
     def __init__(
@@ -60,6 +68,8 @@ class GradientBoostingRegressor:
             self.objective = GammaDeviance()
         elif objective == "squared_error":
             self.objective = SquaredError()
+        elif objective == "pinball":
+            self.objective = PinballLoss(0.5)
         else:
             raise ModelError(f"unknown objective: {objective!r}")
         self._seed = seed

@@ -13,6 +13,7 @@ from repro.models.nn_model import NNPCCModel
 from repro.models.training import TrainConfig, train_parameter_model
 from repro.models.tuning import WeightTuningResult, tune_runtime_weight
 from repro.models.xgboost_models import (
+    QUANTILE_HEAD_PARAMS,
     XGBoostPL,
     XGBoostRuntimeModel,
     XGBoostSS,
@@ -32,6 +33,7 @@ __all__ = [
     "XGBoostRuntimeModel",
     "XGBoostSS",
     "XGBoostPL",
+    "QUANTILE_HEAD_PARAMS",
     "reference_window",
     "ModelEvaluation",
     "evaluate_model",

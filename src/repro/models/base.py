@@ -7,6 +7,15 @@ All models answer the same two questions for an unseen job:
 
 Trend models (NN, GNN, XGBoost PL) expose the fitted/predicted power-law
 parameters; XGBoost SS is non-parametric and only produces curves.
+
+Models additionally share an *uncertainty* surface —
+:meth:`PCCPredictor.predict_interval` (q10/q50/q90 run times at a token
+count) and :meth:`PCCPredictor.predict_pcc_intervals` (whole
+:class:`~repro.pcc.intervals.PCCInterval` curves). The base
+implementations return degenerate intervals collapsed onto the point
+prediction, so every model participates in interval-consuming paths;
+models that actually quantify uncertainty (quantile-head XGBoost,
+ensembled NN) override them and report ``supports_intervals = True``.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import numpy as np
 from repro.exceptions import NotFittedError
 from repro.models.dataset import PCCDataset
 from repro.pcc.curve import PowerLawPCC
+from repro.pcc.intervals import PCCInterval
 
 __all__ = ["PCCPredictor"]
 
@@ -62,6 +72,35 @@ class PCCPredictor(ABC):
         return [
             PowerLawPCC.from_log_parameters(a, log_b) for a, log_b in parameters
         ]
+
+    # ------------------------------------------------------------------
+    @property
+    def supports_intervals(self) -> bool:
+        """True when the model produces real (non-degenerate) intervals."""
+        return False
+
+    def predict_interval(
+        self, dataset: PCCDataset, tokens: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lo, mid, hi)`` predicted run times of example ``i`` at
+        ``tokens[i]`` — the q10/q50/q90 of the run-time distribution.
+
+        The default collapses onto the point prediction (zero-width
+        intervals), so point-only models remain drop-in everywhere
+        intervals are consumed.
+        """
+        point = self.predict_runtime_at(dataset, tokens)
+        return point, point, point
+
+    def predict_pcc_intervals(
+        self, dataset: PCCDataset
+    ) -> list[PCCInterval] | None:
+        """Predicted :class:`~repro.pcc.intervals.PCCInterval` per
+        example (None if non-parametric); degenerate by default."""
+        pccs = self.predict_pccs(dataset)
+        if pccs is None:
+            return None
+        return [PCCInterval.degenerate(pcc) for pcc in pccs]
 
     # ------------------------------------------------------------------
     def _check_fitted(self) -> None:

@@ -8,6 +8,15 @@ non-increasing by construction (Section 4.4/4.5).
 With the default hidden sizes ``(32, 16)`` and the 51-wide job feature
 vector, the network has ~2.2K parameters — matching the paper's Table 7
 NN figure of 2,216.
+
+**Ensemble intervals** (opt-in, ``ensemble_size > 1``): the model trains
+``ensemble_size - 1`` additional members identical in architecture,
+loss, and data but seeded differently, and reads prediction uncertainty
+off the member spread — the standard deep-ensemble recipe. The primary
+member's training is byte-identical with or without the ensemble (each
+member draws from its own seeded streams), so point predictions and
+PCC parameters never change when intervals are enabled; see
+``docs/uncertainty.md``.
 """
 
 from __future__ import annotations
@@ -24,8 +33,14 @@ from repro.ml.nn import Activation, Dense, PCCParameterHead, Sequential
 from repro.models.base import PCCPredictor
 from repro.models.dataset import PCCDataset
 from repro.models.training import TrainConfig, train_parameter_model
+from repro.pcc.curve import PowerLawPCC
+from repro.pcc.intervals import _Z_HI, PCCInterval
 
 __all__ = ["NNPCCModel"]
+
+#: Seed stride between ensemble members (prime, to keep the per-member
+#: network-init and minibatch streams disjoint from the primary's).
+_MEMBER_SEED_STRIDE = 7919
 
 
 class NNPCCModel(PCCPredictor):
@@ -42,10 +57,13 @@ class NNPCCModel(PCCPredictor):
         xgb_model: PCCPredictor | None = None,
         seed: int = 0,
         use_compiled: bool = True,
+        ensemble_size: int = 1,
     ) -> None:
         super().__init__()
         if not hidden_sizes:
             raise ModelError("NN needs at least one hidden layer")
+        if ensemble_size < 1:
+            raise ModelError("ensemble_size must be at least 1")
         self.hidden_sizes = hidden_sizes
         self.loss = loss or LF2()
         self.train_config = train_config or TrainConfig()
@@ -60,11 +78,13 @@ class NNPCCModel(PCCPredictor):
         #: use ``repro.ml.compiled.override(False)`` — to fall back.
         self.use_compiled = use_compiled
         self._compiled: FusedMLP | None = None
+        self.ensemble_size = ensemble_size
+        self._members: list[Sequential] = []
         self.loss_history_: list[float] = []
 
     # ------------------------------------------------------------------
-    def _build_network(self, in_features: int) -> Sequential:
-        rng = np.random.default_rng(self._seed)
+    def _build_network(self, in_features: int, seed: int) -> Sequential:
+        rng = np.random.default_rng(seed)
         modules = []
         previous = in_features
         for size in self.hidden_sizes:
@@ -95,7 +115,7 @@ class NNPCCModel(PCCPredictor):
             xgb_runtime=xgb_runtime,
         )
 
-        self._network = self._build_network(features.shape[1])
+        self._network = self._build_network(features.shape[1], self._seed)
         self._compiled = None  # refit invalidates the fused forward pass
 
         def forward(batch: np.ndarray) -> Tensor:
@@ -110,6 +130,27 @@ class NNPCCModel(PCCPredictor):
             config=self.train_config,
             rng=np.random.default_rng(self._seed + 1),
         )
+
+        # Extra ensemble members train after (and independently of) the
+        # primary, so its fit is byte-identical with or without them.
+        self._members = []
+        for k in range(1, self.ensemble_size):
+            member_seed = self._seed + _MEMBER_SEED_STRIDE * k
+            member = self._build_network(features.shape[1], member_seed)
+
+            def member_forward(batch: np.ndarray, net=member) -> Tensor:
+                return net(Tensor(features[batch]))
+
+            train_parameter_model(
+                member_forward,
+                member.parameters(),
+                self.loss,
+                inputs,
+                num_examples=len(dataset),
+                config=self.train_config,
+                rng=np.random.default_rng(member_seed + 1),
+            )
+            self._members.append(member)
         self._fitted = True
         return self
 
@@ -168,6 +209,78 @@ class NNPCCModel(PCCPredictor):
             np.exp(log_b + a * np.log(np.asarray(grid, dtype=float)))
             for (a, log_b), grid in zip(parameters, grids)
         ]
+
+    # ------------------------------------------------------------------
+    @property
+    def supports_intervals(self) -> bool:
+        return bool(self._members)
+
+    def _member_parameters(self, dataset: PCCDataset) -> np.ndarray:
+        """``(ensemble_size, M, 2)`` per-member ``(a, log b)``.
+
+        Members are evaluated on the autograd path (they are few and
+        small); the primary member keeps its usual compiled route.
+        """
+        self._check_fitted()
+        assert self._network is not None
+        features = self._scaler.transform(dataset.job_feature_matrix())
+        stacks = [self.predict_parameters(dataset)]
+        stacks += [net(Tensor(features)).numpy() for net in self._members]
+        return np.stack(stacks)
+
+    def predict_interval(
+        self, dataset: PCCDataset, tokens: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """q10/q50/q90 run times at ``tokens[i]`` from the member spread.
+
+        ``mid`` is the primary member's (unchanged) point prediction;
+        ``lo``/``hi`` offset its log run time by ``ndtri(0.9)`` times
+        the cross-member standard deviation of the log run time — a
+        Gaussian read-out of the ensemble spread at the q10/q90 levels.
+        """
+        tokens = np.asarray(tokens, dtype=float)
+        if np.any(tokens <= 0):
+            raise ModelError("token counts must be positive")
+        mid = self.predict_runtime_at(dataset, tokens)
+        if not self._members:
+            return mid, mid, mid
+        stacked = self._member_parameters(dataset)
+        log_tokens = np.log(tokens)
+        log_runtimes = stacked[:, :, 1] + stacked[:, :, 0] * log_tokens
+        spread = _Z_HI * log_runtimes.std(axis=0)
+        log_mid = np.log(mid)
+        return np.exp(log_mid - spread), mid, np.exp(log_mid + spread)
+
+    def predict_pcc_intervals(
+        self, dataset: PCCDataset
+    ) -> list[PCCInterval] | None:
+        """Per-example parameter intervals from the ensemble spread.
+
+        Each log parameter is offset by ``ndtri(0.9)`` times its
+        cross-member standard deviation around the primary member's
+        value; the resulting curves are elementwise ordered in
+        ``(a, log b)`` by construction, so they form a valid
+        :class:`PCCInterval` directly. Without extra members, falls
+        back to the base degenerate intervals.
+        """
+        if not self._members:
+            return super().predict_pcc_intervals(dataset)
+        stacked = self._member_parameters(dataset)
+        mid_params = stacked[0]
+        spread = _Z_HI * stacked.std(axis=0)
+        intervals = []
+        for (a_mid, lb_mid), (a_sd, lb_sd) in zip(mid_params, spread):
+            # Larger a and larger log b both mean slower: hi adds both.
+            hi_a = min(a_mid + a_sd, 0.0)  # keep the monotone guarantee
+            lo_a = a_mid - a_sd
+            intervals.append(
+                PCCInterval(
+                    lo=PowerLawPCC.from_log_parameters(lo_a, lb_mid - lb_sd),
+                    mid=PowerLawPCC.from_log_parameters(a_mid, lb_mid),
+                    hi=PowerLawPCC.from_log_parameters(hi_a, lb_mid + lb_sd),
+                )
+            )
+        return intervals
 
     def num_parameters(self) -> int:
         if self._network is None:

@@ -16,6 +16,12 @@ from repro.pcc.families import (
     ShiftedPowerLawPCC,
     fit_family,
 )
+from repro.pcc.intervals import (
+    INTERVAL_QUANTILES,
+    PCCInterval,
+    pcc_at_risk,
+    tokens_within_slowdown_at_risk,
+)
 from repro.pcc.fitting import (
     fit_from_skyline,
     fit_observations,
@@ -26,6 +32,10 @@ from repro.pcc.optimal import find_elbow, optimal_tokens, tokens_for_slowdown
 
 __all__ = [
     "PowerLawPCC",
+    "PCCInterval",
+    "INTERVAL_QUANTILES",
+    "pcc_at_risk",
+    "tokens_within_slowdown_at_risk",
     "PCCFamily",
     "AmdahlPCC",
     "ShiftedPowerLawPCC",

@@ -41,9 +41,11 @@ import numpy as np
 
 from repro.exceptions import ReplayError
 from repro.fleet import POLICY_NAMES, FleetJob, FleetScheduler, JobDemand
+from repro.fleet.allocator import DeadlineAwarePolicy
 from repro.models import build_dataset
 from repro.models.xgboost_models import XGBoostPL
 from repro.obs import trace
+from repro.pcc.intervals import tokens_within_slowdown_at_risk
 from repro.pcc.optimal import tokens_for_slowdown
 from repro.replay.arrivals import arrival_times
 from repro.replay.report import ReplayReport, build_report
@@ -57,7 +59,7 @@ from repro.scope.generator import (
 )
 from repro.scope.repository import JobRepository, TelemetryRecord, run_workload
 from repro.scope.stages import decompose_stages
-from repro.serving import AllocationServer, ServerConfig
+from repro.serving import AllocationServer, PromotionGate, ServerConfig
 from repro.serving.server import ResponseStatus, ServeResponse
 from repro.tasq import ScoringPipeline
 from repro.tasq.model_store import ModelStore
@@ -94,6 +96,14 @@ class ReplayConfig:
     reallocate_running: bool = True
     #: Refit + hot-swap the model when the drift monitor fires.
     retrain: bool = False
+    #: How a retrained model reaches serving: "immediate" hot-swaps it
+    #: on the spot; "shadow" stages it as a champion-challenger and
+    #: only the promotion gate's verdict deploys it.
+    promotion: str = "immediate"
+    #: Risk level for recommendations and deadline floors (None = point
+    #: estimates; see ``docs/uncertainty.md``). Enables quantile heads
+    #: on the serving model.
+    risk: float | None = None
     #: Drift monitor tuning (short replays need a shorter fuse than the
     #: serving default).
     drift_window: int = 60
@@ -120,6 +130,13 @@ class ReplayConfig:
             raise ReplayError("cluster capacity must be positive")
         if not 0 <= self.slowdown_floor:
             raise ReplayError("slowdown floor must be non-negative")
+        if self.promotion not in ("immediate", "shadow"):
+            raise ReplayError(
+                f"unknown promotion mode {self.promotion!r}; "
+                "known: immediate, shadow"
+            )
+        if self.risk is not None and not 0.0 < self.risk < 1.0:
+            raise ReplayError("risk must be inside (0, 1)")
 
 
 @dataclass
@@ -159,6 +176,22 @@ class ReplayEngine:
             noise_scale=0.08, straggler_rate=0.02, work_noise=0.10
         )
         self._retrain_count = 0
+        #: Per-tenant outcomes of the last run (benchmark introspection;
+        #: deliberately not part of the hashed ReplayReport).
+        self.outcomes_by_tenant_: dict[str, list[QueueOutcome]] = {}
+
+    @property
+    def _wants_intervals(self) -> bool:
+        """Quantile heads are needed for risk floors and shadow gating."""
+        return (
+            self.config.risk is not None
+            or self.config.promotion == "shadow"
+        )
+
+    def _fit_model(self, repository: JobRepository, seed: int) -> XGBoostPL:
+        return XGBoostPL(
+            seed=seed, quantile_heads=self._wants_intervals
+        ).fit(build_dataset(repository, workers=self.config.workers))
 
     # ------------------------------------------------------------------
     # phases
@@ -177,9 +210,7 @@ class ReplayEngine:
                 seed=cfg.seed + 1,
                 workers=cfg.workers,
             )
-            model = XGBoostPL(seed=cfg.seed).fit(
-                build_dataset(repository, workers=cfg.workers)
-            )
+            model = self._fit_model(repository, cfg.seed)
             store = ModelStore()
             store.register(_MODEL_NAME, model, {"bootstrap": True})
             monitor = PredictionMonitor(
@@ -194,7 +225,7 @@ class ReplayEngine:
             # of the request sequence (scoring failures still degrade to
             # the fallback answer, per request).
             server = AllocationServer(
-                ScoringPipeline(model),
+                ScoringPipeline(model, risk=cfg.risk),
                 ServerConfig(
                     workers=1,
                     max_batch_size=1,
@@ -225,11 +256,33 @@ class ReplayEngine:
             times = arrival_times(tenant.arrival, cfg.duration_s, rng)
             if times.size == 0:
                 continue
-            generator = WorkloadGenerator(
-                config=make_family_config(tenant.family),
-                seed=self._tenant_seed(index),
+            split = (
+                int(np.searchsorted(times, tenant.shift_at_s))
+                if tenant.shift_at_s is not None
+                else times.size
             )
-            jobs = generator.generate(times.size, workers=cfg.workers)
+            jobs: list[JobInstance] = []
+            if split > 0:
+                generator = WorkloadGenerator(
+                    config=make_family_config(tenant.family),
+                    seed=self._tenant_seed(index),
+                )
+                jobs.extend(
+                    generator.generate(split, workers=cfg.workers)
+                )
+            if split < times.size:
+                # Post-shift jobs come from an independent generator (a
+                # disjoint seed stream) so the pre-shift timeline is
+                # bit-identical to the no-shift run up to the shift.
+                shifted = WorkloadGenerator(
+                    config=make_family_config(tenant.shift_family),
+                    seed=self._tenant_seed(index) + 500009,
+                )
+                jobs.extend(
+                    shifted.generate(
+                        times.size - split, workers=cfg.workers
+                    )
+                )
             events.extend(
                 _Arrival(
                     time=float(t),
@@ -325,6 +378,20 @@ class ReplayEngine:
             lo = hi = min(capacity, response.tokens or requested)
         else:
             floor = tokens_for_slowdown(pcc, requested, cfg.slowdown_floor)
+            interval = response.recommendation.pcc_interval
+            if (
+                cfg.risk is not None
+                and interval is not None
+                and not interval.is_degenerate
+            ):
+                # Strengthen the SLO floor to the risk quantile: enough
+                # tokens that the slowdown budget holds with
+                # probability ``risk``, not merely in expectation.
+                risk_floor = tokens_within_slowdown_at_risk(
+                    interval, cfg.risk, requested, cfg.slowdown_floor
+                )
+                if risk_floor is not None:
+                    floor = max(floor, risk_floor)
             lo = min(capacity, min(requested, max(1, floor)))
             # The recommendation is also the grant ceiling: past the
             # knee every extra token buys less than the pipeline's
@@ -351,6 +418,11 @@ class ReplayEngine:
                 min_tokens=lo,
                 max_tokens=hi,
                 deadline=deadline,
+                pcc_interval=(
+                    response.recommendation.pcc_interval
+                    if model_backed
+                    else None
+                ),
             ),
             runtime_fn=runtime_fn,
         )
@@ -391,7 +463,11 @@ class ReplayEngine:
             )
         server.record_completion(response, float(outcome.runtime))
         drift_series.append(server.monitor.rolling_median_ape)
-        if self.config.retrain and server.monitor.needs_retraining:
+        if (
+            self.config.retrain
+            and server.monitor.needs_retraining
+            and not server.has_challenger
+        ):
             self._retrain(server, history, executions)
 
     def _retrain(
@@ -400,7 +476,15 @@ class ReplayEngine:
         history: JobRepository,
         executions: dict[str, TelemetryRecord],
     ) -> None:
-        """Refit on bootstrap + replayed telemetry, hot-swap, reset."""
+        """Refit on bootstrap + replayed telemetry; deploy per config.
+
+        ``promotion="immediate"`` registers + hot-swaps + resets on the
+        spot; ``promotion="shadow"`` stages the refit model as a
+        challenger — it shadow-scores live traffic and only the
+        promotion gate's verdict deploys it (the champion monitor is
+        *not* reset, so a rejected challenger leaves the drift signal
+        armed for another attempt).
+        """
         self._retrain_count += 1
         with trace.span(
             "replay.retrain", round=self._retrain_count,
@@ -411,9 +495,18 @@ class ReplayEngine:
                 merged.add(record)
             for ref in sorted(executions):
                 merged.add(executions[ref])
-            model = XGBoostPL(
-                seed=self.config.seed + self._retrain_count
-            ).fit(build_dataset(merged, workers=self.config.workers))
+            model = self._fit_model(
+                merged, self.config.seed + self._retrain_count
+            )
+            if self.config.promotion == "shadow":
+                server.stage_challenger(
+                    model,
+                    gate=PromotionGate(
+                        min_observations=self.config
+                        .drift_min_observations,
+                    ),
+                )
+                return
             assert server._store is not None
             server._store.register(
                 _MODEL_NAME, model, {"retrain": self._retrain_count}
@@ -430,9 +523,11 @@ class ReplayEngine:
         events = self._arrivals()
         capacity = self._capacity(events)
 
-        fleet_policy = (
+        fleet_policy: str | DeadlineAwarePolicy = (
             cfg.policy if cfg.policy in POLICY_NAMES else "water_filling"
         )
+        if cfg.policy == "deadline" and cfg.risk is not None:
+            fleet_policy = DeadlineAwarePolicy(risk=cfg.risk)
         scheduler = FleetScheduler(
             capacity,
             policy=fleet_policy,
@@ -506,6 +601,7 @@ class ReplayEngine:
             flush(stream.drain())
 
         fleet_report = stream.report()
+        self.outcomes_by_tenant_ = outcomes_by_tenant
         return build_report(
             policy=cfg.policy,
             admission=cfg.admission,

@@ -5,6 +5,12 @@ declarative :data:`~repro.scope.generator.WORKLOAD_FAMILIES`), an
 arrival process, and a per-tenant slowdown SLO. The replay engine gives
 each tenant its own deterministic generator and arrival substream, so
 tenants are statistically independent but jointly reproducible.
+
+A tenant may also declare a mid-stream **workload shift**
+(``shift_family`` + ``shift_at_s``): jobs arriving after the shift time
+are drawn from a different family generator, which is how the drift
+benchmarks inject a distribution change the bootstrap-trained model has
+never seen (see ``docs/uncertainty.md``).
 """
 
 from __future__ import annotations
@@ -33,6 +39,11 @@ class TenantSpec:
     #: SLO: a completed job attains its SLO when its slowdown
     #: (turnaround / run time) is at most this factor.
     slo_slowdown: float = 2.0
+    #: Optional mid-stream workload shift: jobs arriving at or after
+    #: ``shift_at_s`` virtual seconds come from ``shift_family``
+    #: instead of ``family``. Both must be set together.
+    shift_family: str | None = None
+    shift_at_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -44,6 +55,18 @@ class TenantSpec:
             )
         if self.slo_slowdown < 1:
             raise ReplayError("slowdown SLOs below 1 are unattainable")
+        if (self.shift_family is None) != (self.shift_at_s is None):
+            raise ReplayError(
+                "shift_family and shift_at_s must be set together"
+            )
+        if self.shift_family is not None:
+            if self.shift_family not in FAMILY_NAMES:
+                raise ReplayError(
+                    f"unknown shift family {self.shift_family!r}; "
+                    f"known: {', '.join(FAMILY_NAMES)}"
+                )
+            if self.shift_at_s <= 0:
+                raise ReplayError("shift time must be positive")
 
 
 def default_tenants(

@@ -7,7 +7,9 @@ pool with micro-batching (:mod:`~repro.serving.server`), signature-keyed
 recommendation/feature caches (:mod:`~repro.serving.cache`), token-bucket
 rate limiting plus a circuit breaker (:mod:`~repro.serving.admission`),
 degraded-mode fallbacks (:mod:`~repro.serving.fallback`), a metrics
-registry (:mod:`~repro.serving.metrics`), and a seeded load generator
+registry (:mod:`~repro.serving.metrics`), champion-challenger shadow
+scoring with a coverage-gated promotion rule
+(:mod:`~repro.serving.shadow`), and a seeded load generator
 (:mod:`~repro.serving.loadgen`).
 """
 
@@ -21,6 +23,7 @@ from repro.serving.fallback import (
 )
 from repro.serving.loadgen import LoadGenerator, LoadgenConfig, LoadReport
 from repro.serving.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.serving.shadow import PromotionGate, ShadowDecision, ShadowState
 from repro.serving.server import (
     AllocationServer,
     ResponseStatus,
@@ -48,6 +51,9 @@ __all__ = [
     "ServeResponse",
     "ServeFuture",
     "AllocationServer",
+    "PromotionGate",
+    "ShadowDecision",
+    "ShadowState",
     "LoadgenConfig",
     "LoadReport",
     "LoadGenerator",

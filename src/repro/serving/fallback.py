@@ -16,6 +16,15 @@ outage — it falls back to the user's request. Two policies:
 Fallback recommendations carry a degenerate flat PCC (zero exponent at
 the observed/assumed run time) so downstream consumers that inspect the
 curve see "no predicted benefit from more tokens" rather than garbage.
+
+**Uncertainty contract.** A fallback answer is a point estimate by
+construction — there is no model behind it to quantify spread — so its
+``pcc_interval`` stays None and its ``risk`` stays None. Interval-aware
+consumers (the monitor's coverage rule, risk-adjusted floors, the
+shadow promotion gate) must treat such answers as carrying *no*
+calibration evidence, not as zero-width intervals that trivially miss:
+this module's recommendations are deliberately excluded from coverage
+accounting (see ``docs/uncertainty.md``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,171 @@
+"""Champion-challenger shadow scoring and the promotion gate.
+
+Hot-swapping a freshly retrained model straight into the serving path is
+an act of faith: the retrain consumed drifted telemetry, but nothing
+checked that the new model actually predicts *better* — or that its
+claimed uncertainty is calibrated — before it started deciding
+allocations. Shadow scoring closes that gap:
+
+* a staged **challenger** model scores the same live traffic as the
+  champion, but its answers are never served — they are recorded
+  against the job id;
+* when a job completes, the challenger's prediction *at the allocation
+  actually granted* is compared with the observed run time, feeding a
+  dedicated :class:`~repro.tasq.monitoring.PredictionMonitor`;
+* once the challenger has ``min_observations`` completions, the
+  :class:`PromotionGate` decides exactly once: **promote** when the
+  challenger's rolling median APE is no worse than ``max_ape_ratio``
+  times the champion's *and* its interval coverage (when it produces
+  intervals) lies inside ``[coverage_floor, coverage_ceiling]``;
+  otherwise **reject** and keep the champion.
+
+The coverage ceiling matters as much as the floor: a model can trivially
+reach 100% coverage with absurdly wide intervals, which would make every
+risk-adjusted recommendation uselessly conservative. All gate thresholds
+are specified in ``docs/uncertainty.md`` and asserted by
+``tests/test_uncertainty.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServingError
+from repro.tasq.monitoring import PredictionMonitor
+from repro.tasq.pipeline import ScoringPipeline, TokenRecommendation
+
+__all__ = ["PromotionGate", "ShadowDecision", "ShadowState"]
+
+#: Most pending (scored, not yet completed) challenger predictions kept;
+#: oldest entries are dropped first — a bound, not a correctness knob.
+_MAX_PENDING_PREDICTIONS = 4096
+
+
+@dataclass(frozen=True)
+class PromotionGate:
+    """The accept/reject rule for a shadow-scored challenger.
+
+    Parameters
+    ----------
+    min_observations:
+        Completed jobs the challenger must have been scored against
+        before a decision is taken (the decision is one-shot, at exactly
+        this count).
+    max_ape_ratio:
+        The challenger's rolling median APE may be at most this multiple
+        of the champion's (1.1 = at most 10% worse; retrained models are
+        expected to be *better*, the slack absorbs sampling noise). A
+        champion with no error history auto-passes this clause.
+    coverage_floor, coverage_ceiling:
+        When the challenger produces intervals, its rolling q10-q90
+        coverage must land inside this band: below the floor the
+        intervals under-promise (mis-calibrated), above the ceiling they
+        are so wide as to be uninformative. A challenger with no
+        interval observations skips this clause.
+    """
+
+    min_observations: int = 40
+    max_ape_ratio: float = 1.1
+    coverage_floor: float = 0.65
+    coverage_ceiling: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.min_observations < 1:
+            raise ServingError("gate needs at least one observation")
+        if self.max_ape_ratio <= 0:
+            raise ServingError("APE ratio must be positive")
+        if not 0.0 < self.coverage_floor < self.coverage_ceiling <= 1.0:
+            raise ServingError(
+                "coverage band must satisfy 0 < floor < ceiling <= 1"
+            )
+
+
+class ShadowDecision(enum.Enum):
+    """Lifecycle of one staged challenger."""
+
+    PENDING = "pending"
+    PROMOTED = "promoted"
+    REJECTED = "rejected"
+
+
+@dataclass
+class ShadowState:
+    """One staged challenger: its pipeline, monitor, and pending scores.
+
+    The owning server synchronises access; this object is plain state
+    plus the gate arithmetic.
+    """
+
+    pipeline: ScoringPipeline
+    gate: PromotionGate
+    monitor: PredictionMonitor = field(default_factory=PredictionMonitor)
+    decision: ShadowDecision = ShadowDecision.PENDING
+    _pending: dict[str, TokenRecommendation] = field(default_factory=dict)
+
+    @property
+    def model(self):
+        return self.pipeline.model
+
+    # ------------------------------------------------------------------
+    def record(self, job_id: str, recommendation: TokenRecommendation) -> None:
+        """Remember the challenger's answer for a live job."""
+        if len(self._pending) >= _MAX_PENDING_PREDICTIONS:
+            self._pending.pop(next(iter(self._pending)))
+        self._pending[job_id] = recommendation
+
+    def observe(self, job_id: str, granted_tokens: int, actual: float) -> bool:
+        """Score one completion against the challenger's prediction.
+
+        The comparison is at the allocation the *champion* actually
+        granted — both models are judged on the same counterfactual, so
+        neither gets credit merely for recommending different tokens.
+        Returns False when the challenger never scored this job (cached
+        or fallback answers bypass shadow scoring).
+        """
+        recommendation = self._pending.pop(job_id, None)
+        if recommendation is None or actual <= 0:
+            return False
+        predicted = float(recommendation.pcc.runtime(granted_tokens))
+        interval = None
+        if (
+            recommendation.pcc_interval is not None
+            and not recommendation.pcc_interval.is_degenerate
+        ):
+            lo, _, hi = recommendation.pcc_interval.runtime_interval(
+                granted_tokens
+            )
+            if 0.0 < lo <= hi:
+                interval = (lo, hi)
+        self.monitor.observe(predicted, actual, interval=interval)
+        return True
+
+    # ------------------------------------------------------------------
+    def decide(self, champion_monitor: PredictionMonitor) -> ShadowDecision:
+        """One-shot gate evaluation once enough completions accumulated."""
+        if self.decision is not ShadowDecision.PENDING:
+            return self.decision
+        snapshot = self.monitor.snapshot()
+        if snapshot.observations < self.gate.min_observations:
+            return ShadowDecision.PENDING
+
+        champion_ape = champion_monitor.rolling_median_ape
+        challenger_ape = snapshot.rolling_median_ape
+        accuracy_ok = (
+            champion_ape is None
+            or challenger_ape is None
+            or challenger_ape <= self.gate.max_ape_ratio * champion_ape
+        )
+        coverage = snapshot.rolling_coverage
+        coverage_ok = (
+            coverage is None
+            or self.gate.coverage_floor
+            <= coverage
+            <= self.gate.coverage_ceiling
+        )
+        self.decision = (
+            ShadowDecision.PROMOTED
+            if accuracy_ok and coverage_ok
+            else ShadowDecision.REJECTED
+        )
+        return self.decision

@@ -10,6 +10,12 @@ in-process:
   :class:`~repro.tasq.model_store.ModelStore`.
 * :class:`ScoringPipeline` — compile-time plan -> features -> predicted
   PCC -> token recommendation (optimal tokens + expected trade-off).
+
+With ``risk=`` set, scoring consumes the model's predicted
+:class:`~repro.pcc.intervals.PCCInterval` instead of the point curve
+alone: the marginal-improvement optimum still comes from the median
+curve, but the ``max_slowdown`` SLO floor is strengthened to hold at the
+risk quantile of the run-time distribution (see ``docs/uncertainty.md``).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.models.xgboost_models import XGBoostPL, XGBoostSS
 from repro.obs import get_registry, trace
 from repro.parallel import pmap
 from repro.pcc.curve import PowerLawPCC
+from repro.pcc.intervals import PCCInterval, tokens_within_slowdown_at_risk
 from repro.scope.plan import QueryPlan
 from repro.scope.repository import JobRepository
 from repro.tasq.model_store import ModelStore
@@ -164,6 +171,18 @@ class TokenRecommendation:
     optimal_tokens: int
     predicted_runtime_at_requested: float
     predicted_runtime_at_optimal: float
+    #: Predicted q10/q50/q90 curves (None for risk-unaware scoring, and
+    #: degenerate when the model has no uncertainty heads).
+    pcc_interval: PCCInterval | None = None
+    #: The risk level the recommendation was made at (None = point).
+    risk: float | None = None
+
+    def runtime_interval_at(self, tokens: float) -> tuple[float, float, float]:
+        """``(lo, mid, hi)`` predicted run times at one allocation."""
+        if self.pcc_interval is not None:
+            return self.pcc_interval.runtime_interval(tokens)
+        point = float(self.pcc.runtime(tokens))
+        return point, point, point
 
     @property
     def token_savings(self) -> float:
@@ -264,6 +283,14 @@ class ScoringPipeline:
         with :func:`repro.ml.compiled.override` forcing the reference
         (pre-kernel) inference paths — the escape hatch the golden
         regression tests pin recommendations against.
+    risk:
+        When set (a probability in (0, 1)), recommendations carry the
+        model's predicted interval and the ``max_slowdown`` SLO floor is
+        enforced at this quantile of the run-time distribution via
+        :func:`~repro.pcc.intervals.tokens_within_slowdown_at_risk` —
+        ``risk=0.9`` means "the slowdown budget holds with probability
+        0.9", not merely in expectation. None (the default) preserves
+        the point-estimate behaviour bit-for-bit.
     """
 
     def __init__(
@@ -272,13 +299,17 @@ class ScoringPipeline:
         improvement_threshold: float = 0.01,
         max_slowdown: float | None = None,
         use_compiled: bool = True,
+        risk: float | None = None,
     ) -> None:
         if improvement_threshold <= 0:
             raise PipelineError("improvement threshold must be positive")
+        if risk is not None and not 0.0 < risk < 1.0:
+            raise PipelineError("risk must be inside (0, 1)")
         self.model = model
         self.improvement_threshold = improvement_threshold
         self.max_slowdown = max_slowdown
         self.use_compiled = use_compiled
+        self.risk = risk
 
     def score(
         self,
@@ -319,11 +350,30 @@ class ScoringPipeline:
             if features is None:
                 dataset = _scoring_dataset(plans, tokens_arr, None)
             with trace.span("tasq.predict_pccs", batch=len(plans)):
+                intervals: list[PCCInterval] | None = None
                 if self.use_compiled:
-                    pccs = self.model.predict_pccs(dataset)
+                    if self.risk is not None:
+                        intervals = self.model.predict_pcc_intervals(dataset)
+                        pccs = (
+                            None
+                            if intervals is None
+                            else [iv.mid for iv in intervals]
+                        )
+                    else:
+                        pccs = self.model.predict_pccs(dataset)
                 else:
                     with compiled_kernels.override(False):
-                        pccs = self.model.predict_pccs(dataset)
+                        if self.risk is not None:
+                            intervals = self.model.predict_pcc_intervals(
+                                dataset
+                            )
+                            pccs = (
+                                None
+                                if intervals is None
+                                else [iv.mid for iv in intervals]
+                            )
+                        else:
+                            pccs = self.model.predict_pccs(dataset)
             if trace.enabled:
                 get_registry().counter("tasq_jobs_scored").increment(
                     len(plans)
@@ -334,7 +384,11 @@ class ScoringPipeline:
                 "parametric PCC model (NN, GNN, or XGBoost PL)"
             )
 
-        best, run_requested, run_best = self._recommend_vectorized(pccs, tokens_arr)
+        best, run_requested, run_best = self._recommend_vectorized(
+            pccs, tokens_arr, intervals
+        )
+        if intervals is None:
+            intervals = [None] * len(pccs)
         return [
             TokenRecommendation(
                 job_id=plan.job_id,
@@ -343,14 +397,21 @@ class ScoringPipeline:
                 optimal_tokens=int(chosen),
                 predicted_runtime_at_requested=float(at_requested),
                 predicted_runtime_at_optimal=float(at_best),
+                pcc_interval=interval,
+                risk=self.risk,
             )
-            for plan, requested, pcc, chosen, at_requested, at_best in zip(
-                plans, requested_tokens, pccs, best, run_requested, run_best
+            for plan, requested, pcc, chosen, at_requested, at_best, interval
+            in zip(
+                plans, requested_tokens, pccs, best, run_requested, run_best,
+                intervals,
             )
         ]
 
     def _recommend_vectorized(
-        self, pccs: list[PowerLawPCC], requested: np.ndarray
+        self,
+        pccs: list[PowerLawPCC],
+        requested: np.ndarray,
+        intervals: list[PCCInterval] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batch closed forms for the whole recommendation loop.
 
@@ -392,6 +453,26 @@ class ScoringPipeline:
             )
             floor_tokens = np.where(flat, 1, floor_tokens)
             best = np.maximum(best, floor_tokens)
+
+            if self.risk is not None and intervals is not None:
+                # Strengthen the SLO floor to the risk quantile; the
+                # risk floor dominates the expectation floor for
+                # risk >= 0.5 and is capped at the request (never
+                # recommend more than asked, matching the point rule).
+                risk_floor = np.array(
+                    [
+                        min(
+                            tokens_within_slowdown_at_risk(
+                                interval, self.risk, ref, self.max_slowdown
+                            )
+                            or np.inf,
+                            np.ceil(ref),
+                        )
+                        for interval, ref in zip(intervals, requested)
+                    ],
+                    dtype=np.int64,
+                )
+                best = np.maximum(best, risk_floor)
 
         run_requested = b * np.power(requested, a)
         run_best = b * np.power(best.astype(float), a)

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.exceptions import PipelineError
 from repro.pcc.curve import PowerLawPCC
+from repro.pcc.intervals import PCCInterval, pcc_at_risk
 
 __all__ = [
     "PricePoint",
@@ -59,6 +60,9 @@ def cheapest_within_deadline(
     deadline_seconds: float,
     min_tokens: int = 1,
     max_tokens: int | None = None,
+    *,
+    interval: PCCInterval | None = None,
+    risk: float | None = None,
 ) -> int | None:
     """Smallest allocation whose predicted run time meets the deadline.
 
@@ -66,7 +70,20 @@ def cheapest_within_deadline(
     ``a > -1``, so the deadline-feasible *minimum* is also the cheapest
     choice. Returns None when even ``max_tokens`` misses the deadline
     (the deadline is infeasible under the predicted PCC).
+
+    With ``risk`` and ``interval`` given, the search runs on the
+    interval's risk-quantile curve (:func:`~repro.pcc.intervals
+    .pcc_at_risk`) instead of the point estimate — ``risk=0.9`` buys the
+    allocation at which the q90 run time (not the median) meets the
+    deadline, i.e. the deadline holds with probability 0.9 under the
+    model's uncertainty (see ``docs/uncertainty.md``).
     """
+    if risk is not None:
+        if interval is None:
+            raise PipelineError(
+                "risk-adjusted deadline search needs a PCCInterval"
+            )
+        pcc = pcc_at_risk(interval, risk)
     if deadline_seconds <= 0:
         raise PipelineError("deadline must be positive")
     if not pcc.is_non_increasing:

@@ -1,0 +1,525 @@
+"""The uncertainty layer: pinball loss, intervals, risk, drift, promotion.
+
+Every numeric threshold asserted here (quantiles 0.1/0.5/0.9, coverage
+alarm below 0.65, held-out coverage band [0.7, 0.95], promotion gate
+40 / 1.1 / [0.65, 0.98]) is the one specified in ``docs/uncertainty.md``
+— keep the two in sync.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    FittingError,
+    ModelError,
+    PipelineError,
+    ServingError,
+)
+from repro.ml.gbm import (
+    BoosterParams,
+    GradientBoostingRegressor,
+    PinballLoss,
+)
+from repro.models import NNPCCModel, TrainConfig, XGBoostPL
+from repro.pcc import PowerLawPCC
+from repro.pcc.intervals import (
+    INTERVAL_QUANTILES,
+    PCCInterval,
+    pcc_at_risk,
+    tokens_within_slowdown_at_risk,
+)
+from repro.pcc.optimal import tokens_for_slowdown
+from repro.serving.shadow import PromotionGate, ShadowDecision, ShadowState
+from repro.tasq.monitoring import PredictionMonitor
+from repro.tasq.pipeline import ScoringPipeline
+from repro.tasq.price_performance import cheapest_within_deadline
+
+TOKEN_GRID = np.geomspace(1.0, 2048.0, 60)
+
+
+def _pinball(quantile: float, y: np.ndarray, raw: np.ndarray) -> np.ndarray:
+    u = np.log(y) - raw
+    return np.maximum(quantile * u, (quantile - 1.0) * u)
+
+
+class TestPinballLoss:
+    @pytest.mark.parametrize("quantile", INTERVAL_QUANTILES)
+    def test_gradient_matches_finite_differences(self, quantile):
+        rng = np.random.default_rng(42)
+        y = rng.lognormal(mean=2.0, sigma=1.0, size=256)
+        raw = rng.normal(loc=2.0, scale=1.5, size=256)
+        # The loss is non-differentiable on the kink raw == log(y);
+        # compare only where the central difference straddles one side.
+        eps = 1e-6
+        smooth = np.abs(np.log(y) - raw) > 1e-3
+        assert smooth.sum() > 200
+        grad, hess = PinballLoss(quantile).gradients(y, raw)
+        numeric = (
+            _pinball(quantile, y, raw + eps) - _pinball(quantile, y, raw - eps)
+        ) / (2.0 * eps)
+        assert np.allclose(grad[smooth], numeric[smooth], atol=1e-5)
+        assert np.all(hess == 1.0)
+
+    def test_base_score_is_log_quantile(self):
+        rng = np.random.default_rng(3)
+        y = rng.lognormal(size=500)
+        for quantile in INTERVAL_QUANTILES:
+            assert PinballLoss(quantile).base_score(y) == pytest.approx(
+                float(np.quantile(np.log(y), quantile))
+            )
+
+    def test_rejects_bad_quantile_and_targets(self):
+        for quantile in (0.0, 1.0, -0.1, 1.7):
+            with pytest.raises(ModelError):
+                PinballLoss(quantile)
+        with pytest.raises(ModelError):
+            PinballLoss(0.5).validate_targets(np.array([1.0, 0.0]))
+
+    def test_booster_accepts_pinball_objective(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(120, 2))
+        y = np.exp(x[:, 0]) * rng.lognormal(sigma=0.2, size=120)
+        params = BoosterParams(n_estimators=15, max_depth=3)
+        for objective in ("pinball", PinballLoss(0.9)):
+            model = GradientBoostingRegressor(params, objective=objective)
+            preds = model.fit(x, y).predict(x)
+            assert np.all(preds > 0)
+
+
+class TestCoverageCalibration:
+    """Held-out q10–q90 coverage of pinball heads lands in [0.7, 0.95]."""
+
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_heldout_coverage_in_band(self, seed):
+        rng = np.random.default_rng(seed)
+        n_train, n_test = 400, 200
+        x = rng.uniform(0.0, 4.0, size=(n_train + n_test, 3))
+        # Heteroscedastic positive response: multiplicative lognormal
+        # noise whose spread grows with the third feature.
+        signal = 5.0 * np.exp(0.6 * x[:, 0] - 0.2 * x[:, 1])
+        sigma = 0.3 * (0.5 + x[:, 2] / 4.0)
+        y = signal * rng.lognormal(mean=0.0, sigma=sigma)
+
+        params = BoosterParams(n_estimators=60, max_depth=3)
+        heads = {
+            quantile: GradientBoostingRegressor(
+                params, objective=PinballLoss(quantile), seed=0
+            ).fit(x[:n_train], y[:n_train])
+            for quantile in (INTERVAL_QUANTILES[0], INTERVAL_QUANTILES[2])
+        }
+        lo = heads[INTERVAL_QUANTILES[0]].predict(x[n_train:])
+        hi = heads[INTERVAL_QUANTILES[2]].predict(x[n_train:])
+        coverage = float(np.mean((lo <= y[n_train:]) & (y[n_train:] <= hi)))
+        assert 0.7 <= coverage <= 0.95
+
+
+class TestPCCInterval:
+    def test_constructor_rejects_crossing_curves(self):
+        mid = PowerLawPCC(a=-0.5, b=100.0)
+        with pytest.raises(FittingError):
+            PCCInterval(
+                lo=PowerLawPCC(a=-0.2, b=100.0),
+                mid=mid,
+                hi=PowerLawPCC(a=-0.9, b=100.0),
+            )
+        with pytest.raises(FittingError):
+            PCCInterval(
+                lo=PowerLawPCC(a=-0.5, b=150.0),
+                mid=mid,
+                hi=PowerLawPCC(a=-0.5, b=120.0),
+            )
+
+    def test_from_quantiles_repairs_crossing(self):
+        mid = PowerLawPCC(a=-0.5, b=120.0)
+        interval = PCCInterval.from_quantiles(
+            lo=PowerLawPCC(a=-0.2, b=100.0),
+            mid=mid,
+            hi=PowerLawPCC(a=-0.9, b=150.0),
+            reference_tokens=32.0,
+        )
+        lo_rt = interval.lo.runtime(TOKEN_GRID)
+        mid_rt = interval.mid.runtime(TOKEN_GRID)
+        hi_rt = interval.hi.runtime(TOKEN_GRID)
+        assert np.all(lo_rt <= mid_rt * (1 + 1e-9))
+        assert np.all(mid_rt <= hi_rt * (1 + 1e-9))
+        assert interval.mid == mid  # the median is never touched
+
+    def test_from_quantiles_reanchors_at_reference(self):
+        # Only hi's exponent crosses; the repaired hi must predict the
+        # same run time at the reference allocation as the raw fit did.
+        hi_raw = PowerLawPCC(a=-0.8, b=400.0)
+        interval = PCCInterval.from_quantiles(
+            lo=PowerLawPCC(a=-0.5, b=80.0),
+            mid=PowerLawPCC(a=-0.5, b=100.0),
+            hi=hi_raw,
+            reference_tokens=10.0,
+        )
+        assert interval.hi.a == pytest.approx(-0.5)
+        assert interval.hi.runtime(10.0) == pytest.approx(hi_raw.runtime(10.0))
+
+    def test_from_quantiles_is_identity_when_ordered(self):
+        lo = PowerLawPCC(a=-0.6, b=80.0)
+        mid = PowerLawPCC(a=-0.5, b=100.0)
+        hi = PowerLawPCC(a=-0.4, b=130.0)
+        interval = PCCInterval.from_quantiles(lo, mid, hi, reference_tokens=8)
+        assert interval.mid == mid
+        for fixed, original in ((interval.lo, lo), (interval.hi, hi)):
+            assert fixed.a == pytest.approx(original.a)
+            assert fixed.b == pytest.approx(original.b, rel=1e-12)
+
+    def test_degenerate(self):
+        mid = PowerLawPCC(a=-0.5, b=100.0)
+        interval = PCCInterval.degenerate(mid)
+        assert interval.is_degenerate
+        lo, mid_rt, hi = interval.runtime_interval(16)
+        assert lo == mid_rt == hi == pytest.approx(mid.runtime(16))
+
+
+@pytest.fixture()
+def interval():
+    return PCCInterval(
+        lo=PowerLawPCC(a=-0.6, b=80.0),
+        mid=PowerLawPCC(a=-0.5, b=100.0),
+        hi=PowerLawPCC(a=-0.4, b=140.0),
+    )
+
+
+class TestRiskKnob:
+    def test_endpoints(self, interval):
+        for risk, curve in (
+            (0.5, interval.mid),
+            (INTERVAL_QUANTILES[2], interval.hi),
+            (INTERVAL_QUANTILES[0], interval.lo),
+        ):
+            at_risk = pcc_at_risk(interval, risk)
+            assert at_risk.a == pytest.approx(curve.a)
+            assert at_risk.b == pytest.approx(curve.b, rel=1e-9)
+
+    def test_monotone_in_risk(self, interval):
+        runtimes = [
+            pcc_at_risk(interval, risk).runtime(64.0)
+            for risk in (0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95)
+        ]
+        assert runtimes == sorted(runtimes)
+
+    def test_extrapolation_clamps_exponent(self):
+        interval = PCCInterval(
+            lo=PowerLawPCC(a=-0.9, b=80.0),
+            mid=PowerLawPCC(a=-0.5, b=100.0),
+            hi=PowerLawPCC(a=-0.1, b=140.0),
+        )
+        extreme = pcc_at_risk(interval, 0.999)
+        assert extreme.a <= 0.0
+        assert extreme.is_non_increasing
+
+    def test_rejects_out_of_range_risk(self, interval):
+        for risk in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(FittingError):
+                pcc_at_risk(interval, risk)
+
+    def test_risk_floor_strengthens_point_floor(self, interval):
+        point = tokens_for_slowdown(interval.mid, 200.0, 0.1)
+        at_median = tokens_within_slowdown_at_risk(interval, 0.5, 200.0, 0.1)
+        at_q90 = tokens_within_slowdown_at_risk(interval, 0.9, 200.0, 0.1)
+        assert at_median is not None and at_q90 is not None
+        assert min(at_median, 200) == point
+        assert at_q90 >= at_median
+        # At the returned allocation the q90 run time meets the budget.
+        bound = 1.1 * interval.mid.runtime(200.0)
+        assert interval.hi.runtime(at_q90) <= bound * (1 + 1e-9)
+
+    def test_infeasible_returns_none(self):
+        flat_hi = PCCInterval(
+            lo=PowerLawPCC(a=-0.5, b=50.0),
+            mid=PowerLawPCC(a=0.0, b=100.0),
+            hi=PowerLawPCC(a=0.0, b=10_000.0),
+        )
+        assert (
+            tokens_within_slowdown_at_risk(flat_hi, 0.9, 100.0, 0.1) is None
+        )
+
+    def test_deadline_search_at_risk(self, interval):
+        deadline = interval.mid.runtime(64.0)
+        point = cheapest_within_deadline(interval.mid, deadline)
+        risky = cheapest_within_deadline(
+            interval.mid, deadline, interval=interval, risk=0.9
+        )
+        assert point is not None and risky is not None
+        assert risky >= point
+        assert interval.hi.runtime(risky) <= deadline * (1 + 1e-9)
+
+    def test_deadline_search_requires_interval_with_risk(self, interval):
+        with pytest.raises(PipelineError):
+            cheapest_within_deadline(interval.mid, 10.0, risk=0.9)
+
+
+class TestModelIntervals:
+    @pytest.fixture(scope="class")
+    def heads_model(self, dataset):
+        return XGBoostPL(seed=0, quantile_heads=True).fit(dataset)
+
+    def test_point_path_unchanged_by_heads(self, dataset, heads_model):
+        plain = XGBoostPL(seed=0).fit(dataset)
+        tokens = np.full(len(dataset), 100.0)
+        np.testing.assert_array_equal(
+            plain.predict_runtime_at(dataset, tokens),
+            heads_model.predict_runtime_at(dataset, tokens),
+        )
+
+    def test_predict_interval_ordered(self, dataset, heads_model):
+        assert heads_model.supports_intervals
+        tokens = np.full(len(dataset), 40.0)
+        lo, mid, hi = heads_model.predict_interval(dataset, tokens)
+        assert np.all(lo <= mid) and np.all(mid <= hi)
+        assert np.any(lo < hi)  # genuinely non-degenerate somewhere
+
+    def test_predict_pcc_intervals_ordered(self, dataset, heads_model):
+        intervals = heads_model.predict_pcc_intervals(dataset)
+        assert intervals is not None and len(intervals) == len(dataset)
+        for iv in intervals:
+            assert isinstance(iv, PCCInterval)
+            lo = iv.lo.runtime(TOKEN_GRID)
+            hi = iv.hi.runtime(TOKEN_GRID)
+            mid = iv.mid.runtime(TOKEN_GRID)
+            assert np.all(lo <= mid * (1 + 1e-9))
+            assert np.all(mid <= hi * (1 + 1e-9))
+        assert any(not iv.is_degenerate for iv in intervals)
+
+    def test_plain_model_yields_degenerate_intervals(self, dataset):
+        plain = XGBoostPL(seed=0).fit(dataset)
+        assert not plain.supports_intervals
+        intervals = plain.predict_pcc_intervals(dataset)
+        assert intervals is not None
+        assert all(iv.is_degenerate for iv in intervals)
+
+    def test_nn_ensemble_intervals(self, dataset):
+        config = TrainConfig(epochs=5)
+        solo = NNPCCModel(train_config=config, seed=0).fit(dataset)
+        ensemble = NNPCCModel(
+            train_config=config, seed=0, ensemble_size=3
+        ).fit(dataset)
+        # The primary member is byte-identical with or without the
+        # extra members (their seeds are independent streams).
+        np.testing.assert_array_equal(
+            solo.predict_parameters(dataset),
+            ensemble.predict_parameters(dataset),
+        )
+        assert ensemble.supports_intervals and not solo.supports_intervals
+        lo, mid, hi = ensemble.predict_interval(
+            dataset, np.full(len(dataset), 40.0)
+        )
+        assert np.all(lo <= mid) and np.all(mid <= hi)
+        for iv in ensemble.predict_pcc_intervals(dataset):
+            lo_rt = iv.lo.runtime(TOKEN_GRID)
+            hi_rt = iv.hi.runtime(TOKEN_GRID)
+            assert np.all(lo_rt <= hi_rt * (1 + 1e-9))
+            assert iv.hi.a <= 0.0
+
+    def test_nn_rejects_bad_ensemble_size(self):
+        with pytest.raises(ModelError):
+            NNPCCModel(ensemble_size=0)
+
+
+class TestRiskyPipeline:
+    @pytest.fixture(scope="class")
+    def heads_model(self, dataset):
+        return XGBoostPL(seed=0, quantile_heads=True).fit(dataset)
+
+    def test_recommendations_carry_intervals(
+        self, heads_model, workload_jobs
+    ):
+        scorer = ScoringPipeline(heads_model, risk=0.9)
+        job = workload_jobs[0]
+        rec = scorer.score(job.plan, job.requested_tokens)
+        assert rec.risk == 0.9
+        assert rec.pcc_interval is not None
+        lo, mid, hi = rec.runtime_interval_at(rec.optimal_tokens)
+        assert lo <= mid <= hi
+
+    def test_risk_strengthens_slo_floor(self, heads_model, workload_jobs):
+        jobs = workload_jobs[:10]
+        plans = [j.plan for j in jobs]
+        requested = [j.requested_tokens for j in jobs]
+        point = ScoringPipeline(heads_model, max_slowdown=0.05)
+        risky = ScoringPipeline(heads_model, max_slowdown=0.05, risk=0.9)
+        for p_rec, r_rec in zip(
+            point.score_batch(plans, requested),
+            risky.score_batch(plans, requested),
+        ):
+            assert r_rec.optimal_tokens >= p_rec.optimal_tokens
+
+    def test_rejects_out_of_range_risk(self, heads_model):
+        for risk in (0.0, 1.0, -1.0):
+            with pytest.raises(PipelineError):
+                ScoringPipeline(heads_model, risk=risk)
+
+
+class TestCoverageDrift:
+    def _monitor(self, **overrides):
+        defaults = dict(window=40, patience=5, min_observations=10)
+        defaults.update(overrides)
+        return PredictionMonitor(**defaults)
+
+    def test_fires_on_coverage_collapse_with_accurate_point(self):
+        monitor = self._monitor()
+        # Calibrated regime: actuals inside the band, APE zero.
+        for _ in range(20):
+            monitor.observe(10.0, 10.0, interval=(8.0, 12.0))
+        assert not monitor.needs_retraining
+        # Shift: point predictions stay perfect (APE 0) but the actual
+        # run time falls outside the predicted band every time — only
+        # the coverage rule can see this.
+        for _ in range(30):
+            monitor.observe(14.0, 14.0, interval=(8.0, 12.0))
+        assert monitor.needs_retraining
+        snapshot = monitor.snapshot()
+        assert snapshot.breach_reason == "coverage"
+        assert snapshot.rolling_coverage is not None
+        assert snapshot.rolling_coverage < 0.65  # 0.8 - 0.15, the alarm
+
+    def test_quiet_on_null(self):
+        monitor = self._monitor()
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            actual = float(rng.uniform(9.0, 11.0))
+            monitor.observe(10.0, actual, interval=(8.5, 11.5))
+        assert not monitor.needs_retraining
+        assert monitor.snapshot().breach_reason is None
+        assert monitor.rolling_coverage == 1.0
+
+    def test_needs_min_interval_observations(self):
+        monitor = self._monitor(min_observations=25)
+        for _ in range(20):  # below min_observations: no alarm possible
+            monitor.observe(10.0, 10.0, interval=(11.0, 12.0))
+        assert not monitor.needs_retraining
+
+    def test_point_only_callers_unaffected(self):
+        monitor = self._monitor()
+        for _ in range(100):
+            monitor.observe(10.0, 10.1)
+        assert monitor.rolling_coverage is None
+        assert not monitor.needs_retraining
+
+    def test_rejects_bad_intervals_and_params(self):
+        monitor = self._monitor()
+        with pytest.raises(PipelineError):
+            monitor.observe(10.0, 10.0, interval=(0.0, 5.0))
+        with pytest.raises(PipelineError):
+            monitor.observe(10.0, 10.0, interval=(6.0, 5.0))
+        with pytest.raises(PipelineError):
+            PredictionMonitor(coverage_target=1.5)
+        with pytest.raises(PipelineError):
+            PredictionMonitor(coverage_target=0.8, coverage_tolerance=0.9)
+
+    def test_reset_clears_coverage_state(self):
+        monitor = self._monitor()
+        for _ in range(30):
+            monitor.observe(10.0, 20.0, interval=(8.0, 12.0))
+        monitor.reset()
+        assert monitor.rolling_coverage is None
+        assert not monitor.needs_retraining
+
+
+def _rec(pcc, interval=None, tokens=50):
+    from repro.tasq.pipeline import TokenRecommendation
+
+    return TokenRecommendation(
+        job_id="job-0",
+        pcc=pcc,
+        requested_tokens=100,
+        optimal_tokens=tokens,
+        predicted_runtime_at_requested=float(pcc.runtime(100)),
+        predicted_runtime_at_optimal=float(pcc.runtime(tokens)),
+        pcc_interval=interval,
+        risk=0.9 if interval is not None else None,
+    )
+
+
+class TestPromotionGate:
+    def _shadow(self, gate=None, model=None):
+        class _Pipeline:
+            def __init__(self):
+                self.model = model
+
+        return ShadowState(
+            pipeline=_Pipeline(),
+            gate=gate or PromotionGate(min_observations=10),
+            monitor=PredictionMonitor(
+                window=40, patience=5, min_observations=5
+            ),
+        )
+
+    def test_gate_defaults_match_docs(self):
+        gate = PromotionGate()
+        assert gate.min_observations == 40
+        assert gate.max_ape_ratio == 1.1
+        assert gate.coverage_floor == 0.65
+        assert gate.coverage_ceiling == 0.98
+
+    def test_gate_validation(self):
+        with pytest.raises(ServingError):
+            PromotionGate(min_observations=0)
+        with pytest.raises(ServingError):
+            PromotionGate(max_ape_ratio=0.0)
+        with pytest.raises(ServingError):
+            PromotionGate(coverage_floor=0.9, coverage_ceiling=0.8)
+
+    def test_promotes_accurate_calibrated_challenger(self, interval):
+        shadow = self._shadow()
+        champion = PredictionMonitor(window=40, min_observations=5)
+        pcc = interval.mid
+        _, _, hi = interval.runtime_interval(50)
+        for i in range(12):
+            job_id = f"job-{i}"
+            shadow._pending[job_id] = _rec(pcc, interval)
+            # 3 of 12 actuals land outside the band: coverage 0.75 sits
+            # inside the gate's [0.65, 0.98] (never 1.0 — that would
+            # trip the too-wide ceiling).
+            actual = hi * 1.5 if i % 4 == 0 else float(pcc.runtime(50)) * 1.02
+            assert shadow.observe(job_id, 50, actual)
+            champion.observe(float(pcc.runtime(50)) * 1.5, actual)
+        assert shadow.decide(champion) is ShadowDecision.PROMOTED
+        # One-shot: the decision is stable afterwards.
+        assert shadow.decide(champion) is ShadowDecision.PROMOTED
+
+    def test_rejects_less_accurate_challenger(self, interval):
+        shadow = self._shadow()
+        champion = PredictionMonitor(window=40, min_observations=5)
+        pcc = interval.mid
+        for i in range(12):
+            job_id = f"job-{i}"
+            shadow._pending[job_id] = _rec(pcc)
+            actual = float(pcc.runtime(50)) * 2.0  # challenger APE 50%
+            shadow.observe(job_id, 50, actual)
+            champion.observe(actual * 1.01, actual)  # champion APE 1%
+        assert shadow.decide(champion) is ShadowDecision.REJECTED
+
+    def test_rejects_miscalibrated_challenger(self, interval):
+        shadow = self._shadow()
+        champion = PredictionMonitor(window=40, min_observations=5)
+        pcc = interval.mid
+        lo, _, hi = interval.runtime_interval(50)
+        for i in range(12):
+            job_id = f"job-{i}"
+            shadow._pending[job_id] = _rec(pcc, interval)
+            actual = hi * 3.0  # far outside the band: coverage 0
+            shadow.observe(job_id, 50, actual)
+            champion.observe(actual * 3.0, actual)  # champion even worse
+        assert shadow.decide(champion) is ShadowDecision.REJECTED
+
+    def test_pending_until_min_observations(self, interval):
+        shadow = self._shadow()
+        champion = PredictionMonitor()
+        pcc = interval.mid
+        for i in range(5):
+            job_id = f"job-{i}"
+            shadow._pending[job_id] = _rec(pcc)
+            shadow.observe(job_id, 50, float(pcc.runtime(50)))
+        assert shadow.decide(champion) is ShadowDecision.PENDING
+
+    def test_observe_unknown_job_is_noop(self, interval):
+        shadow = self._shadow()
+        assert not shadow.observe("never-scored", 50, 10.0)

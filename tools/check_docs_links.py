@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Documentation link checker (run by the ``docs-links`` CI job).
+
+Two rules, both over the repository's markdown:
+
+1. **Reachability** — every ``docs/*.md`` page must be referenced (by
+   its ``docs/<name>.md`` path) from ``README.md`` or
+   ``docs/architecture.md``, so no documentation page is orphaned.
+2. **No dead links** — every ``*.md`` path mentioned in ``README.md``
+   or ``docs/*.md`` (markdown links and inline-code mentions alike)
+   must resolve to an existing file, relative to the repository root or
+   to the mentioning file's directory.
+
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Files whose mentions anchor rule 1.
+ENTRY_POINTS = ("README.md", "docs/architecture.md")
+
+#: Any relative markdown-file path: ``docs/fleet.md``, ``DESIGN.md``,
+#: ``../README.md`` — but not URLs (no scheme separator matches).
+_MD_PATH = re.compile(r"(?<![\w/])((?:[\w.-]+/)*[\w.-]+\.md)(?:#[\w-]*)?\b")
+
+
+def _mentions(path: Path) -> set[str]:
+    return set(_MD_PATH.findall(path.read_text(encoding="utf-8")))
+
+
+def main() -> int:
+    errors: list[str] = []
+
+    entry_mentions: set[str] = set()
+    for name in ENTRY_POINTS:
+        entry = REPO_ROOT / name
+        if not entry.is_file():
+            errors.append(f"missing entry point: {name}")
+            continue
+        entry_mentions |= _mentions(entry)
+
+    for page in sorted(DOCS_DIR.glob("*.md")):
+        rel = page.relative_to(REPO_ROOT).as_posix()
+        if rel in ENTRY_POINTS:
+            continue
+        if rel not in entry_mentions:
+            errors.append(
+                f"orphaned page: {rel} is referenced by neither "
+                + " nor ".join(ENTRY_POINTS)
+            )
+
+    checked = [REPO_ROOT / "README.md", *sorted(DOCS_DIR.glob("*.md"))]
+    for source in checked:
+        if not source.is_file():
+            continue
+        for target in sorted(_mentions(source)):
+            candidates = (REPO_ROOT / target, source.parent / target)
+            if not any(c.is_file() for c in candidates):
+                rel = source.relative_to(REPO_ROOT).as_posix()
+                errors.append(f"dead link: {rel} mentions {target}")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} documentation link problem(s)",
+              file=sys.stderr)
+        return 1
+    count = len(list(DOCS_DIR.glob('*.md')))
+    print(f"docs links OK ({count} pages, {len(checked)} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
