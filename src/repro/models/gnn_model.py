@@ -36,6 +36,7 @@ class GNNPCCModel(PCCPredictor):
 
     name = "GNN"
     guarantees_monotonic = True
+    uses_graph_features = True
 
     def __init__(
         self,

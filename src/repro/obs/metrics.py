@@ -45,6 +45,8 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "reset_registry",
+    "state_delta",
+    "relabel_state",
 ]
 
 
@@ -305,6 +307,94 @@ class MetricsRegistry:
             self._counters.clear()
             self._histograms.clear()
             self._gauges.clear()
+
+
+def state_delta(current: dict[str, dict], previous: dict[str, dict]) -> dict:
+    """What changed between two :meth:`MetricsRegistry.dump_state` calls.
+
+    Long-lived worker processes (the serving shards) cannot ship their
+    full cumulative state on every cadence tick — the parent merges
+    additively, so re-sending totals would double-count. Instead each
+    worker keeps its last shipped state and sends only the delta; the
+    result is itself a valid ``merge_state`` payload. Metrics absent
+    from ``previous`` ship whole; unchanged metrics are omitted.
+
+    Histogram ``min``/``max`` are lifetime extrema (per-window extrema
+    are not recoverable from two cumulative states) — safe under
+    repeated merging because min/max folding is idempotent.
+    """
+    counters: dict[str, int] = {}
+    previous_counters = previous.get("counters", {})
+    for name, value in current.get("counters", {}).items():
+        delta = value - previous_counters.get(name, 0)
+        if delta:
+            counters[name] = delta
+    histograms: dict[str, dict] = {}
+    previous_histograms = previous.get("histograms", {})
+    for name, state in current.get("histograms", {}).items():
+        before = previous_histograms.get(name)
+        if before is None:
+            if state["count"]:
+                histograms[name] = state
+            continue
+        if list(before["bounds"]) != list(state["bounds"]):
+            raise ObservabilityError(
+                f"cannot diff histogram {name!r}: bucket bounds differ"
+            )
+        count = state["count"] - before["count"]
+        if not count:
+            continue
+        histograms[name] = {
+            "bounds": list(state["bounds"]),
+            "counts": [
+                now - then
+                for now, then in zip(state["counts"], before["counts"])
+            ],
+            "count": count,
+            "sum": state["sum"] - before["sum"],
+            "min": state["min"],
+            "max": state["max"],
+        }
+    return {"counters": counters, "histograms": histograms}
+
+
+def _parse_labeled_name(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`_labeled_name`: ``name{k=v,...}`` -> (name, labels)."""
+    if not (key.endswith("}") and "{" in key):
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels = dict(
+        part.split("=", 1) for part in inner[:-1].split(",") if "=" in part
+    )
+    return name, labels
+
+
+def relabel_state(state: dict[str, dict], **labels) -> dict:
+    """Rewrite every metric key in a state payload with extra labels.
+
+    The sharded server merges each worker's delta under a ``shard=i``
+    label, so one fleet snapshot distinguishes per-shard traffic
+    (``responses_ok{shard=0}`` vs ``responses_ok{shard=1}``) the same
+    way a Prometheus scrape of N processes would. Existing labels are
+    preserved; colliding label names are overwritten.
+    """
+    rendered = {key: str(value) for key, value in labels.items()}
+
+    def rekey(key: str) -> str:
+        name, existing = _parse_labeled_name(key)
+        existing.update(rendered)
+        return _labeled_name(name, existing)
+
+    return {
+        "counters": {
+            rekey(key): value
+            for key, value in state.get("counters", {}).items()
+        },
+        "histograms": {
+            rekey(key): value
+            for key, value in state.get("histograms", {}).items()
+        },
+    }
 
 
 _global_registry = MetricsRegistry()

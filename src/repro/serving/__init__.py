@@ -9,21 +9,36 @@ rate limiting plus a circuit breaker (:mod:`~repro.serving.admission`),
 degraded-mode fallbacks (:mod:`~repro.serving.fallback`), a metrics
 registry (:mod:`~repro.serving.metrics`), champion-challenger shadow
 scoring with a coverage-gated promotion rule
-(:mod:`~repro.serving.shadow`), and a seeded load generator
-(:mod:`~repro.serving.loadgen`).
+(:mod:`~repro.serving.shadow`), a seeded load generator
+(:mod:`~repro.serving.loadgen`), and a shared-nothing multi-process
+front end that scales the endpoint across cores
+(:mod:`~repro.serving.shard`, routed by the consistent-hash ring in
+:mod:`~repro.serving.ring`).
 """
 
 from repro.serving.admission import BreakerState, CircuitBreaker, TokenBucket
-from repro.serving.cache import FeatureCache, LRUCache, RecommendationCache
+from repro.serving.cache import (
+    FeatureCache,
+    FeatureVectorCache,
+    LRUCache,
+    RecommendationCache,
+)
 from repro.serving.fallback import (
     FallbackPolicy,
     HistoricalMedianFallback,
     PassthroughFallback,
     degraded_recommendation,
+    degraded_recommendation_for,
 )
 from repro.serving.loadgen import LoadGenerator, LoadgenConfig, LoadReport
 from repro.serving.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.serving.ring import ConsistentHashRing
 from repro.serving.shadow import PromotionGate, ShadowDecision, ShadowState
+from repro.serving.shard import (
+    ShardConfig,
+    ShardedAllocationServer,
+    build_server,
+)
 from repro.serving.server import (
     AllocationServer,
     ResponseStatus,
@@ -39,10 +54,12 @@ __all__ = [
     "LRUCache",
     "RecommendationCache",
     "FeatureCache",
+    "FeatureVectorCache",
     "FallbackPolicy",
     "PassthroughFallback",
     "HistoricalMedianFallback",
     "degraded_recommendation",
+    "degraded_recommendation_for",
     "Counter",
     "LatencyHistogram",
     "MetricsRegistry",
@@ -57,4 +74,8 @@ __all__ = [
     "LoadgenConfig",
     "LoadReport",
     "LoadGenerator",
+    "ConsistentHashRing",
+    "ShardConfig",
+    "ShardedAllocationServer",
+    "build_server",
 ]

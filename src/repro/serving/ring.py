@@ -1,0 +1,98 @@
+"""Consistent-hash routing for the sharded serving front end.
+
+The sharded server (`repro.serving.shard`) keeps one private
+recommendation cache per worker process, so every request for a given
+plan signature must always land on the same shard — and, when the shard
+count changes, as few signatures as possible may change owner (a naive
+``hash(key) % N`` remaps almost everything). The classic answer is a
+consistent-hash ring: every shard owns ``replicas`` pseudo-random points
+on a 64-bit circle, a key routes to the first shard point at or after
+its own hash, and adding or removing one shard moves only the ~1/N of
+keys that fall into the arcs the shard gains or gives up.
+
+Hashes come from :func:`hashlib.blake2b`, **not** Python's built-in
+``hash`` — routing must be identical across processes and runs, and the
+interpreter's string hashing is salted per process (PYTHONHASHSEED).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.exceptions import ServingError
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """A 64-bit hash ring mapping string keys onto named nodes.
+
+    Not thread-safe for mutation; the sharded server builds its ring
+    once at start and only tests exercise ``add``/``remove`` live.
+    """
+
+    def __init__(self, nodes: list[str] | None = None, replicas: int = 128):
+        if replicas < 1:
+            raise ServingError("ring needs at least one replica per node")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        #: Sorted ring positions and the node owning each position.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes or []:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ServingError(f"ring already contains node {node!r}")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _point(f"{node}#{replica}")
+            index = bisect.bisect_left(self._points, point)
+            # blake2b collisions across distinct vnode labels are
+            # vanishingly unlikely; ties resolve by insertion order.
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ServingError(f"ring does not contain node {node!r}")
+        self._nodes.remove(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> str:
+        """The node owning ``key`` — the first vnode at/after its hash."""
+        if not self._points:
+            raise ServingError("cannot route on an empty ring")
+        index = bisect.bisect_left(self._points, _point(key))
+        if index == len(self._points):  # wrap past the top of the circle
+            index = 0
+        return self._owners[index]
+
+    def route_many(self, keys: list[str]) -> list[str]:
+        return [self.route(key) for key in keys]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes

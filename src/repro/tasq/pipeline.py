@@ -234,25 +234,25 @@ def featurize(
 
 
 def _scoring_dataset(
-    plans: list[QueryPlan],
+    job_ids: list[str],
     tokens: np.ndarray,
-    features: list[PlanFeatures] | None = None,
+    features: list[PlanFeatures],
 ) -> PCCDataset:
-    """Wrap compile-time plans into the dataset shape models consume.
+    """Wrap featurized compile-time jobs into the dataset shape models eat.
 
     Scoring has no ground truth, so targets/observations are inert
     placeholders — prediction paths only read features and the reference
-    token counts. Pass precomputed ``features`` (from :func:`featurize`)
-    to skip featurization, e.g. when a serving cache already holds them.
+    token counts. Only identifiers and :class:`PlanFeatures` are needed,
+    so callers holding precomputed features (a serving feature cache, or
+    a shard worker reading vectors out of shared memory) never touch a
+    :class:`~repro.scope.plan.QueryPlan` here.
     """
     placeholder = PowerLawPCC(a=-1.0, b=1.0)
-    if features is None:
-        features = [featurize(plan) for plan in plans]
     dataset = PCCDataset()
-    for plan, requested, feats in zip(plans, tokens, features):
+    for job_id, requested, feats in zip(job_ids, tokens, features):
         dataset.examples.append(
             PCCExample(
-                job_id=plan.job_id,
+                job_id=job_id,
                 observed_tokens=float(requested),
                 observed_runtime=1.0,
                 target_pcc=placeholder,
@@ -337,23 +337,79 @@ class ScoringPipeline:
             raise PipelineError("plans and token requests must align")
         if features is not None and len(features) != len(plans):
             raise PipelineError("plans and precomputed features must align")
+        if features is not None:
+            return self.score_features(
+                [plan.job_id for plan in plans], requested_tokens, features
+            )
+        if any(t < 1 for t in requested_tokens):
+            raise PipelineError("requested tokens must be positive")
+
+        job_ids = [plan.job_id for plan in plans]
+        tokens_arr = np.asarray(requested_tokens, float)
+        with trace.span("tasq.score_batch", batch=len(plans)):
+            dataset = _scoring_dataset(
+                job_ids, tokens_arr, [featurize(plan) for plan in plans]
+            )
+            pccs, intervals = self._predict_pccs(dataset)
+        return self._finalize(
+            job_ids, requested_tokens, tokens_arr, pccs, intervals
+        )
+
+    def score_features(
+        self,
+        job_ids: list[str],
+        requested_tokens: list[int],
+        features: list[PlanFeatures],
+    ) -> list[TokenRecommendation]:
+        """Recommendations from identifiers plus precomputed features.
+
+        The plan-free scoring entry point: callers that already hold a
+        :class:`PlanFeatures` per job (the serving feature cache, or a
+        shard worker whose feature vectors arrive through shared memory)
+        score without materializing plans. :meth:`score_batch` with
+        ``features`` delegates here, so both paths are bit-identical.
+        """
+        if not len(job_ids) == len(requested_tokens) == len(features):
+            raise PipelineError(
+                "job ids, token requests, and features must align"
+            )
         if any(t < 1 for t in requested_tokens):
             raise PipelineError("requested tokens must be positive")
 
         tokens_arr = np.asarray(requested_tokens, float)
-        if features is not None:
-            # Features precomputed: wrapping them into the dataset shape
-            # is cheap bookkeeping — keep it out of the traced span so
-            # `tasq.score_batch` measures actual scoring work.
-            dataset = _scoring_dataset(plans, tokens_arr, features)
-        with trace.span("tasq.score_batch", batch=len(plans)):
-            if features is None:
-                dataset = _scoring_dataset(plans, tokens_arr, None)
-            with trace.span("tasq.predict_pccs", batch=len(plans)):
-                intervals: list[PCCInterval] | None = None
-                if self.use_compiled:
+        # Features precomputed: wrapping them into the dataset shape
+        # is cheap bookkeeping — keep it out of the traced span so
+        # `tasq.score_batch` measures actual scoring work.
+        dataset = _scoring_dataset(job_ids, tokens_arr, features)
+        with trace.span("tasq.score_batch", batch=len(job_ids)):
+            pccs, intervals = self._predict_pccs(dataset)
+        return self._finalize(
+            job_ids, requested_tokens, tokens_arr, pccs, intervals
+        )
+
+    def _predict_pccs(
+        self, dataset: PCCDataset
+    ) -> tuple[list[PowerLawPCC] | None, list[PCCInterval] | None]:
+        """Model inference for one scoring dataset (shared by both entries)."""
+        batch = len(dataset.examples)
+        with trace.span("tasq.predict_pccs", batch=batch):
+            intervals: list[PCCInterval] | None = None
+            if self.use_compiled:
+                if self.risk is not None:
+                    intervals = self.model.predict_pcc_intervals(dataset)
+                    pccs = (
+                        None
+                        if intervals is None
+                        else [iv.mid for iv in intervals]
+                    )
+                else:
+                    pccs = self.model.predict_pccs(dataset)
+            else:
+                with compiled_kernels.override(False):
                     if self.risk is not None:
-                        intervals = self.model.predict_pcc_intervals(dataset)
+                        intervals = self.model.predict_pcc_intervals(
+                            dataset
+                        )
                         pccs = (
                             None
                             if intervals is None
@@ -361,23 +417,18 @@ class ScoringPipeline:
                         )
                     else:
                         pccs = self.model.predict_pccs(dataset)
-                else:
-                    with compiled_kernels.override(False):
-                        if self.risk is not None:
-                            intervals = self.model.predict_pcc_intervals(
-                                dataset
-                            )
-                            pccs = (
-                                None
-                                if intervals is None
-                                else [iv.mid for iv in intervals]
-                            )
-                        else:
-                            pccs = self.model.predict_pccs(dataset)
-            if trace.enabled:
-                get_registry().counter("tasq_jobs_scored").increment(
-                    len(plans)
-                )
+        if trace.enabled:
+            get_registry().counter("tasq_jobs_scored").increment(batch)
+        return pccs, intervals
+
+    def _finalize(
+        self,
+        job_ids: list[str],
+        requested_tokens: list[int],
+        tokens_arr: np.ndarray,
+        pccs: list[PowerLawPCC] | None,
+        intervals: list[PCCInterval] | None,
+    ) -> list[TokenRecommendation]:
         if pccs is None:
             raise PipelineError(
                 f"{self.model.name} is non-parametric; scoring needs a "
@@ -391,7 +442,7 @@ class ScoringPipeline:
             intervals = [None] * len(pccs)
         return [
             TokenRecommendation(
-                job_id=plan.job_id,
+                job_id=job_id,
                 pcc=pcc,
                 requested_tokens=int(requested),
                 optimal_tokens=int(chosen),
@@ -400,10 +451,11 @@ class ScoringPipeline:
                 pcc_interval=interval,
                 risk=self.risk,
             )
-            for plan, requested, pcc, chosen, at_requested, at_best, interval
+            for job_id, requested, pcc, chosen, at_requested, at_best,
+            interval
             in zip(
-                plans, requested_tokens, pccs, best, run_requested, run_best,
-                intervals,
+                job_ids, requested_tokens, pccs, best, run_requested,
+                run_best, intervals,
             )
         ]
 

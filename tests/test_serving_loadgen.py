@@ -1,5 +1,7 @@
 """Tests for the serving load generator."""
 
+import time
+
 import pytest
 
 from repro.exceptions import ServingError
@@ -14,6 +16,31 @@ from tests.test_serving_server import StubPipeline
 
 def make_server(workers=1):
     return AllocationServer(StubPipeline(), ServerConfig(workers=workers))
+
+
+class StallingServer:
+    """Wraps a real server but stalls every ``submit`` call.
+
+    Models the coordinated-omission scenario: the server admits work
+    slowly enough that the open-loop generator falls behind its own
+    arrival schedule, while each request's *server-measured* latency
+    stays tiny (the stall happens before the server's clock starts).
+    """
+
+    def __init__(self, inner, stall_s):
+        self._inner = inner
+        self._stall_s = stall_s
+
+    def submit(self, plan, requested_tokens):
+        time.sleep(self._stall_s)
+        return self._inner.submit(plan, requested_tokens)
+
+    def __enter__(self):
+        self._inner.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._inner.stop()
 
 
 class TestSchedule:
@@ -106,6 +133,73 @@ class TestOpenLoop:
         assert report.requests == 300
         counters = server.metrics.snapshot()["counters"]
         assert report.rejected == counters.get("rejected_queue_full", 0)
+
+
+class TestCoordinatedOmission:
+    def test_send_lag_is_charged_to_latency(self, workload_jobs):
+        """A stalled generator must not report rosy percentiles.
+
+        The arrival schedule asks for 1000 req/s but every submit stalls
+        5 ms, so the generator drifts further behind with each request.
+        Naive server-side latency stays sub-millisecond; the corrected
+        p99 must include the accumulated schedule lag.
+        """
+        stall = 0.005
+        config = LoadgenConfig(requests=40, arrival_rate=1000.0, seed=0)
+        with StallingServer(make_server(workers=2), stall) as server:
+            report = LoadGenerator(workload_jobs, config).run(server)
+        # 40 requests at 1 ms spacing with 5 ms stalls: the last request
+        # leaves ~40 * (5-1) ms late. The lag must be visible...
+        assert report.max_send_lag_s > 0.05
+        # ...and charged into the percentiles, not just reported beside
+        # them (the classic coordinated-omission mistake).
+        assert report.latency_p99_s >= report.max_send_lag_s * 0.5
+
+    def test_no_lag_when_generator_keeps_up(self, workload_jobs):
+        config = LoadgenConfig(requests=30, arrival_rate=50.0, seed=0)
+        with make_server(workers=2) as server:
+            report = LoadGenerator(workload_jobs, config).run(server)
+        # 20 ms between arrivals against an instant stub: no meaningful
+        # lag, so CO correction leaves the percentiles alone.
+        assert report.max_send_lag_s < 0.01
+
+    def test_closed_loop_reports_zero_lag(self, workload_jobs):
+        config = LoadgenConfig(requests=30, clients=2, seed=0)
+        with make_server(workers=2) as server:
+            report = LoadGenerator(workload_jobs, config).run(server)
+        assert report.max_send_lag_s == 0.0
+
+
+class TestSLOAssertions:
+    def test_violation_recorded_and_raised(self, workload_jobs):
+        config = LoadgenConfig(
+            requests=40,
+            arrival_rate=1000.0,
+            seed=0,
+            slo_p99_s=1e-9,  # impossible: everything violates
+        )
+        with make_server(workers=2) as server:
+            report = LoadGenerator(workload_jobs, config).run(server)
+        assert report.slo_violations
+        assert any("p99" in v for v in report.slo_violations)
+        with pytest.raises(ServingError, match="SLO"):
+            report.assert_slo()
+        assert "SLO VIOLATION" in report.render()
+
+    def test_generous_slo_passes(self, workload_jobs):
+        config = LoadgenConfig(
+            requests=40, clients=2, seed=0, slo_p95_s=60.0, slo_p99_s=60.0
+        )
+        with make_server(workers=2) as server:
+            report = LoadGenerator(workload_jobs, config).run(server)
+        assert report.slo_violations == ()
+        assert report.assert_slo() is report
+
+    def test_slo_must_be_positive(self):
+        with pytest.raises(ServingError):
+            LoadgenConfig(slo_p95_s=0.0)
+        with pytest.raises(ServingError):
+            LoadgenConfig(slo_p99_s=-1.0)
 
 
 class TestReport:

@@ -1,0 +1,146 @@
+"""Consistent-hash ring: stability, churn bounds, cross-process determinism."""
+
+import math
+import multiprocessing
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ServingError
+from repro.parallel import START_METHOD
+from repro.serving.ring import ConsistentHashRing
+
+KEYS = [f"sig-{i:04d}" for i in range(400)]
+
+node_names = st.lists(
+    st.sampled_from([f"shard-{i}" for i in range(12)]),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestRingBasics:
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(ServingError):
+            ConsistentHashRing([]).route("anything")
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ServingError):
+            ConsistentHashRing(["a"], replicas=0)
+
+    def test_duplicate_add_and_missing_remove_raise(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(ServingError):
+            ring.add("a")
+        with pytest.raises(ServingError):
+            ring.remove("c")
+
+    def test_membership_and_len(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert len(ring) == 3
+        assert "b" in ring and "z" not in ring
+        assert ring.nodes == ["a", "b", "c"]
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing(["only"])
+        assert set(ring.route_many(KEYS)) == {"only"}
+
+    def test_route_is_deterministic_within_a_process(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.route_many(KEYS) == ring.route_many(KEYS)
+
+    def test_all_nodes_receive_traffic(self):
+        ring = ConsistentHashRing([f"shard-{i}" for i in range(4)])
+        owners = set(ring.route_many(KEYS))
+        assert owners == {f"shard-{i}" for i in range(4)}
+
+
+class TestRingProperties:
+    @given(node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_construction_order_does_not_matter(self, names):
+        forward = ConsistentHashRing(list(names))
+        backward = ConsistentHashRing(list(reversed(names)))
+        assert forward.route_many(KEYS) == backward.route_many(KEYS)
+
+    @given(node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_node_moves_at_most_its_fair_share(self, names):
+        ring = ConsistentHashRing(list(names))
+        before = ring.route_many(KEYS)
+        ring.add("newcomer")
+        after = ring.route_many(KEYS)
+        moved = [
+            (old, new) for old, new in zip(before, after) if old != new
+        ]
+        # Every key that moved must have moved *to* the new node — a key
+        # changing owner between two pre-existing nodes would mean the
+        # ring reshuffled beyond the newcomer's arcs.
+        assert all(new == "newcomer" for _, new in moved)
+        # Fair share is K/(N+1); allow slack for the finite vnode count
+        # (hash variance shrinks as replicas grow, but never to zero).
+        fair = math.ceil(len(KEYS) / (len(names) + 1))
+        assert len(moved) <= 2 * fair + 8
+
+    @given(node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_removing_a_node_only_moves_its_own_keys(self, names):
+        ring = ConsistentHashRing(list(names))
+        before = ring.route_many(KEYS)
+        victim = sorted(names)[0]
+        ring.remove(victim)
+        after = ring.route_many(KEYS)
+        for old, new in zip(before, after):
+            if old != victim:
+                # Keys owned by surviving nodes must not move at all.
+                assert new == old
+            else:
+                assert new != victim
+
+    @given(node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_add_then_remove_is_identity(self, names):
+        ring = ConsistentHashRing(list(names))
+        before = ring.route_many(KEYS)
+        ring.add("transient")
+        ring.remove("transient")
+        assert ring.route_many(KEYS) == before
+
+
+def _route_in_subprocess(names, keys, queue):
+    ring = ConsistentHashRing(names)
+    queue.put(ring.route_many(keys))
+
+
+class TestCrossProcessDeterminism:
+    def test_routing_matches_across_processes(self):
+        """blake2b (not salted builtin hash) keeps routing process-stable.
+
+        This is what lets the parent route requests that a *worker*
+        process then caches: a disagreement would silently scatter a
+        signature's traffic across shards.
+        """
+        names = [f"shard-{i}" for i in range(4)]
+        local = ConsistentHashRing(names).route_many(KEYS)
+        context = multiprocessing.get_context(START_METHOD)
+        queue = context.Queue()
+        process = context.Process(
+            target=_route_in_subprocess, args=(names, KEYS, queue)
+        )
+        try:
+            process.start()
+        except OSError:
+            pytest.skip("environment forbids subprocesses")
+        try:
+            remote = queue.get(timeout=30)
+        finally:
+            process.join(timeout=10)
+        assert remote == local
+
+    def test_ring_survives_pickling(self):
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=64)
+        clone = pickle.loads(pickle.dumps(ring))
+        assert clone.route_many(KEYS) == ring.route_many(KEYS)

@@ -1,0 +1,443 @@
+"""Multi-process sharded serving: parity, transport, hot swap, metrics.
+
+The pipelines here use feature-*dependent* stub predictors on purpose:
+if the shared-memory feature transport garbled even one float, the
+sharded answers would diverge from the single-process answers and the
+parity assertions would catch it.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.models.base import PCCPredictor
+from repro.serving import (
+    AllocationServer,
+    ResponseStatus,
+    ServerConfig,
+    ShardConfig,
+    ShardedAllocationServer,
+    build_server,
+)
+from repro.tasq import ScoringPipeline
+from repro.tasq.pipeline import featurize
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+class FeatureEchoPredictor(PCCPredictor):
+    """PCC parameters derived from the features themselves.
+
+    Any corruption of the job vector on its way through shared memory
+    changes the predicted curve — and therefore the recommendation.
+    """
+
+    name = "feature-echo"
+
+    def __init__(self):
+        super().__init__()
+        self._fitted = True
+
+    def fit(self, dataset):
+        return self
+
+    def _params(self, dataset):
+        X = np.asarray(dataset.job_feature_matrix(), dtype=np.float64)
+        digest = np.abs(X).sum(axis=1)
+        a = -0.5 - 0.4 * np.sin(digest) ** 2
+        log_b = 4.0 + np.mod(digest, 2.0)
+        return a, log_b
+
+    def predict_parameters(self, dataset):
+        a, log_b = self._params(dataset)
+        return np.stack([a, log_b], axis=1)
+
+    def predict_runtime_at(self, dataset, tokens):
+        a, log_b = self._params(dataset)
+        return np.exp(log_b) * np.power(float(tokens), a)
+
+    def predict_curves(self, dataset, grids):
+        a, log_b = self._params(dataset)
+        return [
+            np.exp(lb) * np.power(np.asarray(g, dtype=float), ai)
+            for ai, lb, g in zip(a, log_b, grids)
+        ]
+
+
+class ConstPredictor(FeatureEchoPredictor):
+    """Feature-independent curve — visibly different from the echo model."""
+
+    name = "const"
+
+    def _params(self, dataset):
+        n = len(dataset)
+        return np.full(n, -0.6), np.full(n, 5.0)
+
+
+class GraphOnlyPredictor(ConstPredictor):
+    name = "graph-only"
+    uses_graph_features = True
+
+
+class ScoreBatchOnlyPipeline:
+    """A legacy pipeline shape: batch scoring but no plan-free entry."""
+
+    def score_batch(self, plans, requested_tokens, features=None):
+        raise AssertionError("should never be scored in these tests")
+
+
+SHARD_CONFIG = ShardConfig(
+    procs=2,
+    flush_batch_size=4,
+    flush_interval_s=0.001,
+    shm_slots=4,
+    metrics_interval_s=0.05,
+)
+SERVER_CONFIG = ServerConfig(workers=1, max_batch_size=4)
+
+
+def start_or_skip(server):
+    try:
+        return server.start()
+    except ServingError as error:
+        if "could not start shard processes" in str(error):
+            pytest.skip(str(error))
+        raise
+
+
+@pytest.fixture()
+def plans(workload_jobs):
+    return [job.plan for job in workload_jobs[:24]]
+
+
+@pytest.fixture()
+def sharded(request):
+    server = ShardedAllocationServer(
+        ScoringPipeline(FeatureEchoPredictor()),
+        SHARD_CONFIG,
+        server_config=SERVER_CONFIG,
+    )
+    start_or_skip(server)
+    request.addfinalizer(server.stop)
+    return server
+
+
+def rec_tuple(response):
+    rec = response.recommendation
+    if rec is None:
+        return None
+    return (
+        rec.job_id,
+        rec.optimal_tokens,
+        round(rec.predicted_runtime_at_requested, 12),
+        round(rec.predicted_runtime_at_optimal, 12),
+    )
+
+
+class TestConstruction:
+    def test_rejects_graph_models(self):
+        with pytest.raises(ServingError, match="graph"):
+            ShardedAllocationServer(ScoringPipeline(GraphOnlyPredictor()))
+
+    def test_rejects_pipelines_without_score_features(self):
+        with pytest.raises(ServingError, match="score_features"):
+            ShardedAllocationServer(ScoreBatchOnlyPipeline())
+
+    def test_config_validation(self):
+        for bad in (
+            dict(procs=0),
+            dict(flush_batch_size=0),
+            dict(flush_interval_s=-1.0),
+            dict(shm_slots=0),
+            dict(ring_replicas=0),
+            dict(metrics_interval_s=-0.1),
+            dict(request_timeout_s=0.0),
+        ):
+            with pytest.raises(ServingError):
+                ShardConfig(**bad)
+
+    def test_submit_requires_running(self, plans):
+        server = ShardedAllocationServer(
+            ScoringPipeline(FeatureEchoPredictor()), SHARD_CONFIG
+        )
+        with pytest.raises(ServingError, match="not running"):
+            server.submit(plans[0], 10)
+
+    def test_requested_tokens_must_be_positive(self, sharded, plans):
+        with pytest.raises(ServingError, match="positive"):
+            sharded.submit(plans[0], 0)
+
+
+class TestBuildServer:
+    def test_procs_one_is_the_single_process_server(self):
+        server = build_server(
+            ScoringPipeline(FeatureEchoPredictor()), SERVER_CONFIG, procs=1
+        )
+        assert type(server) is AllocationServer
+
+    def test_procs_must_be_positive(self):
+        with pytest.raises(ServingError):
+            build_server(ScoringPipeline(FeatureEchoPredictor()), procs=0)
+
+    def test_sharded_rejects_per_shard_kwargs(self):
+        with pytest.raises(ServingError, match="store"):
+            build_server(
+                ScoringPipeline(FeatureEchoPredictor()),
+                procs=2,
+                store=object(),
+            )
+
+    def test_shard_config_procs_reconciled(self):
+        server = build_server(
+            ScoringPipeline(FeatureEchoPredictor()),
+            procs=4,
+            shard_config=ShardConfig(procs=2),
+        )
+        assert isinstance(server, ShardedAllocationServer)
+        assert server.config.procs == 4
+        assert server.num_shards == 4
+
+
+class TestPreparedSubmission:
+    """submit_prepared on the plain server — the path shard workers use."""
+
+    def test_parity_with_submit(self, plans):
+        pipeline = ScoringPipeline(FeatureEchoPredictor())
+        from repro.scope.signatures import plan_signature
+
+        with AllocationServer(pipeline, SERVER_CONFIG) as server:
+            for plan in plans[:6]:
+                via_plan = server.request(plan, 100)
+                prepared = server.submit_prepared(
+                    plan.job_id,
+                    plan_signature(plan),
+                    100,
+                    features=featurize(plan),
+                ).result(timeout=10.0)
+            # The second call hits the recommendation cache seeded by the
+            # first — same recommendation object, proving both entry
+            # points share one admission path.
+            assert prepared.status is ResponseStatus.CACHED
+            assert rec_tuple(prepared) == rec_tuple(via_plan)
+
+    def test_requires_score_features(self):
+        with AllocationServer(ScoreBatchOnlyPipeline(), SERVER_CONFIG) as server:
+            with pytest.raises(ServingError, match="score_features"):
+                server.submit_prepared("job", "sig", 10, features=None)
+
+
+class TestShardedParity:
+    def test_recommendations_match_single_process(self, sharded, plans):
+        """Same stream, serially, through both topologies: same answers."""
+        single = AllocationServer(
+            ScoringPipeline(FeatureEchoPredictor()), SERVER_CONFIG
+        )
+        stream = [(plan, 60 + 7 * i) for i, plan in enumerate(plans)]
+        # Two passes: the second exercises the (per-shard) caches.
+        stream = stream + stream
+        with single:
+            expected = [
+                (r.status, rec_tuple(r))
+                for r in (
+                    single.request(plan, tokens, timeout=30.0)
+                    for plan, tokens in stream
+                )
+            ]
+        observed = [
+            (r.status, rec_tuple(r))
+            for r in (
+                sharded.request(plan, tokens, timeout=30.0)
+                for plan, tokens in stream
+            )
+        ]
+        assert observed == expected
+
+    def test_cache_hit_parity_on_replayed_stream(self, sharded, plans):
+        first = [sharded.request(plan, 80, timeout=30.0) for plan in plans]
+        second = [sharded.request(plan, 80, timeout=30.0) for plan in plans]
+        for cold, warm in zip(first, second):
+            if cold.status in (ResponseStatus.OK, ResponseStatus.CACHED):
+                assert warm.status is ResponseStatus.CACHED
+                assert rec_tuple(warm) == rec_tuple(cold)
+
+    def test_responses_carry_the_answering_shard(self, sharded, plans):
+        responses = [sharded.request(plan, 50, timeout=30.0) for plan in plans]
+        shards = {r.shard for r in responses}
+        assert shards <= {0, 1}
+        # A signature always lands on the same shard.
+        again = [sharded.request(plan, 51, timeout=30.0) for plan in plans]
+        assert [r.shard for r in again] == [r.shard for r in responses]
+
+    def test_routing_is_signature_stable_across_servers(self, plans):
+        """Two parents with the same config route identically (the ring
+        hashes with blake2b, never the salted builtin hash)."""
+        a = ShardedAllocationServer(
+            ScoringPipeline(FeatureEchoPredictor()), SHARD_CONFIG
+        )
+        b = ShardedAllocationServer(
+            ScoringPipeline(FeatureEchoPredictor()), SHARD_CONFIG
+        )
+        from repro.scope.signatures import plan_signature
+
+        signatures = [plan_signature(plan) for plan in plans]
+        assert a.ring.route_many(signatures) == b.ring.route_many(signatures)
+
+
+class TestHotSwap:
+    def test_swap_rejects_graph_models(self, sharded):
+        with pytest.raises(ServingError, match="graph"):
+            sharded.swap_model(GraphOnlyPredictor())
+
+    def test_swap_under_load_is_stall_free(self, sharded, plans):
+        """Traffic keeps flowing while every shard adopts the new model."""
+        stop = threading.Event()
+        responses = []
+        failures = []
+
+        def pound():
+            i = 0
+            while not stop.is_set():
+                plan = plans[i % len(plans)]
+                try:
+                    # Varying token counts defeat the recommendation
+                    # cache, so scoring stays on the hot path during the
+                    # swap instead of being absorbed by cache hits.
+                    responses.append(
+                        sharded.request(plan, 40 + i, timeout=30.0)
+                    )
+                except Exception as error:  # pragma: no cover - fail path
+                    failures.append(error)
+                    return
+                i += 1
+
+        pounder = threading.Thread(target=pound, daemon=True)
+        pounder.start()
+        time.sleep(0.1)
+        before = len(responses)
+        versions = sharded.swap_model(ConstPredictor(), timeout=30.0)
+        time.sleep(0.2)
+        stop.set()
+        pounder.join(timeout=30.0)
+
+        assert not failures
+        assert set(versions) == {0, 1}
+        assert all(v == 2 for v in versions.values())
+        # Requests flowed before, during, and after the swap; none were
+        # rejected by the swap itself.
+        assert len(responses) > before
+        assert all(
+            r.status in (ResponseStatus.OK, ResponseStatus.CACHED)
+            for r in responses
+        )
+
+    def test_swap_changes_the_answers(self, sharded, plans):
+        plan = plans[0]
+        old = sharded.request(plan, 200, timeout=30.0)
+        sharded.swap_model(ConstPredictor(), timeout=30.0)
+        # New token count -> cache miss -> scored by the swapped model.
+        new = sharded.request(plan, 201, timeout=30.0)
+        assert old.recommendation is not None
+        assert new.recommendation is not None
+        assert (
+            new.recommendation.predicted_runtime_at_requested
+            != old.recommendation.predicted_runtime_at_requested
+        )
+
+
+class TestFleetMetrics:
+    def test_shard_deltas_merge_with_labels(self, sharded, plans):
+        for i, plan in enumerate(plans):
+            sharded.request(plan, 30 + i, timeout=30.0)
+        snapshot = sharded.metrics_snapshot()
+        counters = snapshot["counters"]
+        parent_answered = sum(
+            counters.get(f"responses_{s}", 0)
+            for s in ("ok", "cached", "fallback", "rejected")
+        )
+        assert parent_answered == len(plans)
+        shard_answered = sum(
+            count
+            for name, count in counters.items()
+            if name.startswith("responses_") and "{" in name
+        )
+        # Every parent-side answer was produced by some shard's inner
+        # server, and the labeled deltas account for all of them.
+        assert shard_answered == parent_answered
+        assert any("shard=0" in name for name in counters)
+        assert counters["requests_total"] == len(plans)
+
+    def test_stats_exposes_per_shard_caches(self, sharded, plans):
+        for plan in plans:
+            sharded.request(plan, 64, timeout=30.0)
+        for plan in plans:
+            sharded.request(plan, 64, timeout=30.0)
+        stats = sharded.stats()
+        assert stats["procs"] == 2
+        assert stats["ring_nodes"] == ["shard-0", "shard-1"]
+        assert stats["prep_cache"]["hits"] >= len(plans)
+        total_hits = sum(
+            entry["recommendation_cache"]["hits"]
+            for entry in stats["shards"]
+            if entry["alive"]
+        )
+        assert total_hits >= 1
+        assert all("model_version" in e for e in stats["shards"])
+
+    def test_completion_feedback_reaches_the_serving_shard(
+        self, sharded, plans
+    ):
+        responses = [
+            sharded.request(plan, 70, timeout=30.0) for plan in plans[:8]
+        ]
+        for response in responses:
+            sharded.record_completion(response, actual_runtime=12.5)
+
+        def observed():
+            return sum(
+                e.get("monitor_observations", 0)
+                for e in sharded.stats()["shards"]
+            )
+
+        deadline = time.monotonic() + 10.0
+        expecting = sum(
+            1
+            for r in responses
+            if r.status in (ResponseStatus.OK, ResponseStatus.CACHED)
+        )
+        while time.monotonic() < deadline and observed() < expecting:
+            time.sleep(0.02)
+        assert observed() == expecting
+
+
+class TestShutdown:
+    def test_stop_then_submit_raises(self, plans):
+        server = ShardedAllocationServer(
+            ScoringPipeline(FeatureEchoPredictor()), SHARD_CONFIG
+        )
+        start_or_skip(server)
+        assert server.is_running
+        server.stop()
+        assert not server.is_running
+        with pytest.raises(ServingError):
+            server.submit(plans[0], 10)
+        server.stop()  # idempotent
+
+    def test_loadgen_drives_the_sharded_server(self, workload_jobs):
+        from repro.serving import LoadGenerator, LoadgenConfig
+
+        server = ShardedAllocationServer(
+            ScoringPipeline(FeatureEchoPredictor()), SHARD_CONFIG
+        )
+        start_or_skip(server)
+        try:
+            report = LoadGenerator(
+                workload_jobs[:20],
+                LoadgenConfig(requests=40, clients=2, seed=3),
+            ).run(server)
+        finally:
+            server.stop()
+        assert report.requests == 40
+        assert report.rejected == 0
